@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates a paper artifact (table row, figure series or
+ablation) and records the measured values in ``benchmark.extra_info`` so
+the ``--benchmark-only`` output doubles as the experiment log.
+
+Set ``REPRO_BENCH_SCALE`` (default ``1.0``) to shrink the synthetic
+circuits for quick runs; the scale is recorded alongside every result.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.lily import LilyOptions
+from repro.flow.pipeline import FlowResult, lily_flow, mis_flow
+from repro.library.standard import big_library, scale_library, tiny_library
+from repro.timing.model import WireCapModel
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: 1µ-scaled delays/caps on 3µ geometry (Table 2 conditions).
+TABLE2_WIRE_MODEL = WireCapModel(4.0e-4, 3.0e-4)
+
+_flow_cache: Dict[tuple, FlowResult] = {}
+_net_cache: Dict[str, object] = {}
+
+
+def suite_circuit(name: str):
+    net = _net_cache.get(name)
+    if net is None:
+        net = build_circuit(name, scale=BENCH_SCALE)
+        _net_cache[name] = net
+    return net
+
+
+def cached_flow(
+    circuit: str,
+    mapper: str,
+    mode: str,
+    options_key: str = "default",
+    options: Optional[LilyOptions] = None,
+    library=None,
+    wire_model=None,
+    seed_backend: bool = False,
+) -> FlowResult:
+    """Run (or fetch) one pipeline; results are cached per configuration."""
+    key = (circuit, mapper, mode, options_key,
+           library.name if library is not None else "big", seed_backend)
+    result = _flow_cache.get(key)
+    if result is not None:
+        return result
+    net = suite_circuit(circuit)
+    if library is None:
+        library = (
+            scale_library(big_library(), 1.0 / 3.0, name="big_1u")
+            if mode == "timing"
+            else big_library()
+        )
+    if wire_model is None and mode == "timing":
+        wire_model = TABLE2_WIRE_MODEL
+    if mapper == "mis":
+        result = mis_flow(net, library, mode=mode, wire_model=wire_model,
+                          verify=False)
+    else:
+        result = lily_flow(net, library, mode=mode, options=options,
+                           wire_model=wire_model, verify=False,
+                           seed_backend_from_mapper=seed_backend)
+    _flow_cache[key] = result
+    return result
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

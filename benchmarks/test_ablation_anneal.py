@@ -1,0 +1,52 @@
+"""Ablation A9 — simulated-annealing detailed placement (TimberWolf pass).
+
+The paper's back-end placer was simulated-annealing based.  Measures the
+SA refinement's effect on routed wirelength and chip area over the shared
+back-end, on both pipelines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, geomean, suite_circuit
+from repro.flow.pipeline import lily_flow, mis_flow, place_and_route
+from repro.library.standard import big_library
+
+CIRCUITS = ["misex1", "b9", "C432"]
+
+
+def test_annealing_effect(benchmark):
+    library = big_library()
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            net = suite_circuit(circuit)
+            flow = mis_flow(net, library, verify=False)
+            pad_order = list(flow.backend.pad_positions)
+            plain = place_and_route(flow.mapped, pad_order)
+            annealed = place_and_route(
+                flow.mapped, pad_order, anneal=True
+            )
+            rows[circuit] = {
+                "wire_plain_mm": round(plain.wire_length_mm, 2),
+                "wire_annealed_mm": round(annealed.wire_length_mm, 2),
+                "ratio": round(
+                    annealed.routed.total_wire_length
+                    / plain.routed.total_wire_length,
+                    4,
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio_g = geomean(r["ratio"] for r in rows.values())
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "geomean_wire_ratio_annealed_vs_plain": round(ratio_g, 4),
+            "rows": rows,
+        }
+    )
+    assert ratio_g <= 1.02, "annealing must not hurt wirelength on average"

@@ -1,0 +1,66 @@
+"""Ablation A3 — the Section 3.5 cone ordering.
+
+The ordering minimises references to not-yet-mapped logic: we measure the
+exit-line objective the greedy procedure achieves against the natural
+(declaration) order, and the end-to-end effect on Lily's results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, cached_flow, geomean, suite_circuit
+from repro.core.lily import LilyOptions
+from repro.map.cones import exit_line_matrix, logic_cones, order_cones, ordering_cost
+from repro.network.decompose import decompose_to_subject
+
+CIRCUITS = ["b9", "C432", "duke2", "e64"]
+
+
+def test_exit_line_objective(benchmark):
+    """Greedy cone order vs natural order on the exit-line objective."""
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            subject = decompose_to_subject(suite_circuit(circuit))
+            cones = logic_cones(subject)
+            matrix = exit_line_matrix(subject, cones)
+            natural = ordering_cost(matrix, list(range(len(cones))))
+            greedy = ordering_cost(matrix, order_cones(subject, cones))
+            rows[circuit] = {"natural": natural, "greedy": greedy}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"scale": BENCH_SCALE, "rows": rows})
+    # order_cones guards with the natural order, so it never regresses.
+    for circuit, row in rows.items():
+        assert row["greedy"] <= row["natural"], circuit
+
+
+@pytest.mark.parametrize("ordered", [True, False])
+def test_cone_order_end_to_end(benchmark, ordered):
+    options = LilyOptions(use_cone_ordering=ordered)
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            mis = cached_flow(circuit, "mis", "area")
+            lily = cached_flow(
+                circuit, "lily", "area",
+                options_key=f"order_{ordered}", options=options,
+            )
+            rows[circuit] = round(
+                lily.wire_length_mm / mis.wire_length_mm, 4
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "cone_ordering": ordered,
+            "geomean_wire_ratio": round(geomean(rows.values()), 4),
+            "rows": rows,
+        }
+    )

@@ -1,0 +1,55 @@
+"""Ablation A6 — post-mapping fanout optimization (Section 5 future work).
+
+"As in MIS2.2 we could ... perform a postprocessing pass to derive fanout
+trees."  Measures the slack-aware buffer-tree pass on the delay-mode
+results: buffers added and critical-delay change per circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, TABLE2_WIRE_MODEL, geomean, suite_circuit
+from repro.flow.pipeline import mis_flow
+from repro.library.standard import big_library, scale_library
+from repro.timing.fanout import optimize_fanout
+
+CIRCUITS = ["C880", "C1908", "duke2", "e64"]
+
+
+@pytest.mark.parametrize("max_fanout", [4, 6])
+def test_fanout_postprocessing(benchmark, max_fanout):
+    library = scale_library(big_library(), 1.0 / 3.0, name="big_1u")
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            net = suite_circuit(circuit)
+            flow = mis_flow(net, library, mode="timing",
+                            wire_model=TABLE2_WIRE_MODEL, verify=False)
+            result = optimize_fanout(
+                flow.mapped, library, max_fanout=max_fanout,
+                wire_model=TABLE2_WIRE_MODEL,
+            )
+            rows[circuit] = {
+                "buffers": result.buffers_added,
+                "delay_before": round(result.delay_before, 3),
+                "delay_after": round(result.delay_after, 3),
+                "ratio": round(
+                    result.delay_after / result.delay_before, 4
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio_g = geomean(r["ratio"] for r in rows.values())
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "max_fanout": max_fanout,
+            "geomean_delay_ratio": round(ratio_g, 4),
+            "rows": rows,
+        }
+    )
+    assert ratio_g < 1.01, "fanout trees must not hurt delay on average"
+    assert all(r["buffers"] > 0 for r in rows.values())

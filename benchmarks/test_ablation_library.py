@@ -1,0 +1,64 @@
+"""Ablation A4 — the Section 5 tiny-vs-big library discussion.
+
+Traditional mapping with the tiny (<= 3-input) library yields many gates
+and nets; with the big (<= 6-input) library, fewer gates but higher
+routing complexity.  Lily with the big library should land at a gate count
+between the two while matching or beating both on chip area and wire:
+``A_lily <~ min(A_tiny, A_big)`` and ``W_lily <~ min(W_tiny, W_big)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, cached_flow, geomean
+from repro.library.standard import big_library, tiny_library
+
+CIRCUITS = ["b9", "C432", "apex7", "duke2"]
+
+
+def test_library_study(benchmark):
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            tiny = cached_flow(circuit, "mis", "area", library=tiny_library(),
+                               options_key="tiny")
+            big = cached_flow(circuit, "mis", "area", library=big_library(),
+                              options_key="big")
+            lily = cached_flow(circuit, "lily", "area")
+            rows[circuit] = {
+                "gates": {"tiny": tiny.num_gates, "big": big.num_gates,
+                          "lily_big": lily.num_gates},
+                "chip_mm2": {
+                    "tiny": round(tiny.chip_area_mm2, 4),
+                    "big": round(big.chip_area_mm2, 4),
+                    "lily_big": round(lily.chip_area_mm2, 4),
+                },
+                "wire_mm": {
+                    "tiny": round(tiny.wire_length_mm, 2),
+                    "big": round(big.wire_length_mm, 2),
+                    "lily_big": round(lily.wire_length_mm, 2),
+                },
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"scale": BENCH_SCALE, "rows": rows})
+
+    for circuit, row in rows.items():
+        gates = row["gates"]
+        # Tiny-library mappings contain many more gates than big-library.
+        assert gates["tiny"] > gates["big"], circuit
+        # Lily's count sits at or between the two mappers' counts.
+        assert gates["big"] * 0.9 <= gates["lily_big"] <= gates["tiny"] * 1.1
+
+    # W_lily <= min(W_tiny, W_big) in aggregate (the paper's claim).
+    wire_vs_best = geomean(
+        row["wire_mm"]["lily_big"]
+        / min(row["wire_mm"]["tiny"], row["wire_mm"]["big"])
+        for row in rows.values()
+    )
+    benchmark.extra_info["geomean_wire_vs_best_traditional"] = round(
+        wire_vs_best, 4
+    )
+    assert wire_vs_best <= 1.05

@@ -1,0 +1,73 @@
+"""Ablation A5 — pad-assignment sensitivity (Section 5).
+
+"The initial pad placement — prior to technology mapping — influences the
+degree of wire length reduction that is achievable by Lily."  We run the
+Lily pipeline with the connectivity-driven (spectral) pad order against a
+seeded random order and record the achieved wirelength.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, geomean, suite_circuit
+from repro.area.estimate import subject_image
+from repro.core.lily import LilyAreaMapper
+from repro.flow.pipeline import pads_from_order, place_and_route
+from repro.library.standard import big_library
+from repro.network.decompose import decompose_to_subject
+from repro.place.pads import io_affinity_order
+
+CIRCUITS = ["b9", "C432", "apex7"]
+
+
+def _lily_with_pad_order(circuit: str, order):
+    net = suite_circuit(circuit)
+    subject = decompose_to_subject(net)
+    region = subject_image(len(subject.gates))
+    names = {n.name for n in subject.primary_inputs}
+    names |= {n.name for n in subject.primary_outputs}
+    order = [n for n in order if n in names]
+    pads = pads_from_order(order, region)
+    mapper = LilyAreaMapper(
+        big_library(), region=region, pad_positions=pads
+    )
+    result = mapper.map(subject)
+    backend = place_and_route(result.mapped, order)
+    return backend.wire_length_mm
+
+
+def test_pad_assignment_sensitivity(benchmark):
+    import random
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            net = suite_circuit(circuit)
+            spectral = io_affinity_order(net)
+            shuffled = list(spectral)
+            random.Random(99).shuffle(shuffled)
+            rows[circuit] = {
+                "connectivity_pads_wire_mm": round(
+                    _lily_with_pad_order(circuit, spectral), 2
+                ),
+                "random_pads_wire_mm": round(
+                    _lily_with_pad_order(circuit, shuffled), 2
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = geomean(
+        row["connectivity_pads_wire_mm"] / row["random_pads_wire_mm"]
+        for row in rows.values()
+    )
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "rows": rows,
+            "geomean_connectivity_vs_random": round(ratio, 4),
+        }
+    )
+    # Good pads should not hurt; typically they help.
+    assert ratio <= 1.05

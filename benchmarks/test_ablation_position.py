@@ -1,0 +1,62 @@
+"""Ablation A1/F3 — the Section 3.2 position-update options.
+
+Compares CM-of-Merged against CM-of-Fans (Manhattan separable-median and
+the Euclidean centre-of-mass approximation) on a suite subset, in area
+mode, under the shared back-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, cached_flow, geomean
+from repro.core.lily import LilyOptions
+
+CIRCUITS = ["misex1", "b9", "C432", "apex7", "e64"]
+
+VARIANTS = {
+    "cm_of_merged": LilyOptions(position_update="cm_of_merged"),
+    "cm_of_fans_manhattan": LilyOptions(position_update="cm_of_fans",
+                                        norm="manhattan"),
+    "cm_of_fans_euclidean": LilyOptions(position_update="cm_of_fans",
+                                        norm="euclidean"),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_position_update_variant(benchmark, variant):
+    options = VARIANTS[variant]
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            mis = cached_flow(circuit, "mis", "area")
+            lily = cached_flow(
+                circuit, "lily", "area",
+                options_key=variant, options=options,
+            )
+            rows[circuit] = {
+                "wire_ratio": round(
+                    lily.wire_length_mm / mis.wire_length_mm, 4
+                ),
+                "chip_ratio": round(
+                    lily.chip_area_mm2 / mis.chip_area_mm2, 4
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    wire_g = geomean(r["wire_ratio"] for r in rows.values())
+    chip_g = geomean(r["chip_ratio"] for r in rows.values())
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "variant": variant,
+            "geomean_wire_ratio": round(wire_g, 4),
+            "geomean_chip_ratio": round(chip_g, 4),
+            "rows": rows,
+        }
+    )
+    # Every update option must stay a functioning layout-driven mapper.
+    assert wire_g < 1.08
+    assert chip_g < 1.08

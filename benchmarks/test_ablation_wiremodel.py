@@ -1,0 +1,44 @@
+"""Ablation A2 — the Section 3.4 wire-cost estimators.
+
+Half-perimeter x Chung–Hwang against the rectilinear-spanning-tree model,
+area mode, suite subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, cached_flow, geomean
+from repro.core.lily import LilyOptions
+
+CIRCUITS = ["misex1", "b9", "C432", "duke2"]
+
+
+@pytest.mark.parametrize("model", ["halfperim", "spanning"])
+def test_wire_model_variant(benchmark, model):
+    options = LilyOptions(wire_model=model)
+
+    def run():
+        rows = {}
+        for circuit in CIRCUITS:
+            mis = cached_flow(circuit, "mis", "area")
+            lily = cached_flow(
+                circuit, "lily", "area",
+                options_key=f"wiremodel_{model}", options=options,
+            )
+            rows[circuit] = round(
+                lily.wire_length_mm / mis.wire_length_mm, 4
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    wire_g = geomean(rows.values())
+    benchmark.extra_info.update(
+        {
+            "scale": BENCH_SCALE,
+            "model": model,
+            "geomean_wire_ratio": round(wire_g, 4),
+            "rows": rows,
+        }
+    )
+    assert wire_g < 1.08

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Reproduce the Figure 1.1(a) motivation: one big gate vs several small.
+
+Builds an n-input AND whose source signals are pinned at controlled pad
+positions: first tightly clustered, then split between two far corners.
+Maps with MIS (active-area-only) and Lily (layout-driven) and reports how
+the wire cost of the chosen cover changes — with spread-out sources and
+enough fanins, more than one "distribution point" wins.
+
+Run:  python examples/distribution_points.py
+"""
+
+from repro.core.lily import LilyAreaMapper, LilyOptions
+from repro.flow.pipeline import pads_from_order
+from repro.geometry import Point, Rect
+from repro.library.standard import big_library
+from repro.map.mis import MisAreaMapper
+from repro.network.decompose import decompose_to_subject
+from repro.network.logic import Cube, SopCover
+from repro.network.network import Network
+from repro.route.wirelength import hpwl
+
+
+def wide_and(n: int) -> Network:
+    net = Network(f"and{n}")
+    inputs = [net.add_primary_input(f"s{i}") for i in range(n)]
+    node = net.add_node("t", inputs, SopCover(n, [Cube("1" * n)]))
+    net.add_primary_output("t_out", node)
+    return net
+
+
+def pad_layouts(n: int, region: Rect):
+    """Two source layouts: clustered vs split across opposite corners."""
+    clustered = {
+        f"s{i}": Point(region.lx + 2.0 * i, region.ly) for i in range(n)
+    }
+    clustered["t_out"] = Point(region.ux, region.center.y)
+    split = {}
+    for i in range(n):
+        if i % 2 == 0:
+            split[f"s{i}"] = Point(region.lx + i, region.ly)
+        else:
+            split[f"s{i}"] = Point(region.ux - i, region.uy)
+    split["t_out"] = Point(region.ux, region.center.y)
+    return {"clustered": clustered, "split": split}
+
+
+def routed_wire(mapped) -> float:
+    total = 0.0
+    for net in mapped.nets():
+        total += hpwl(net.pin_positions())
+    return total
+
+
+def main() -> None:
+    library = big_library()
+    print("fanin  layout     mapper  gates  max-fanin  est.wire(um)")
+    for n in (3, 6):
+        net = wide_and(n)
+        subject = decompose_to_subject(net)
+        region = Rect(0, 0, 400, 400)
+        for label, pads in pad_layouts(n, region).items():
+            lily = LilyAreaMapper(
+                library, region=region, pad_positions=pads,
+                options=LilyOptions(wire_weight=16.0),
+            )
+            lily_result = lily.map(subject)
+            mis_result = MisAreaMapper(library).map(subject)
+            # Give the MIS gates Lily's placement machinery for a fair
+            # wire readout: place each mapped gate at the centre of the
+            # region (MIS knows nothing about layout).
+            for gate in mis_result.mapped.gates:
+                gate.position = region.center
+            for name, pad in pads.items():
+                for mapped in (lily_result.mapped, mis_result.mapped):
+                    if name in mapped:
+                        mapped[name].position = pad
+                    elif f"{name}__po" in mapped:
+                        mapped[f"{name}__po"].position = pad
+            lily_fanin = max(g.cell.num_inputs for g in lily_result.mapped.gates)
+            mis_fanin = max(g.cell.num_inputs for g in mis_result.mapped.gates)
+            print(f"{n:<6} {label:<10} MIS     "
+                  f"{mis_result.num_gates:<6} {mis_fanin:<10} "
+                  f"{routed_wire(mis_result.mapped):8.0f}")
+            print(f"{n:<6} {label:<10} Lily    "
+                  f"{lily_result.num_gates:<6} {lily_fanin:<10} "
+                  f"{routed_wire(lily_result.mapped):8.0f}")
+    print("\nWith few, clustered sources one distribution point (a single "
+          "high-fanin gate) is fine; with many spread-out sources Lily "
+          "prefers k > 1 smaller gates to cut total wire (Figure 1.1a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""repro -- a full reproduction of *Layout Driven Technology Mapping*
+(Massoud Pedram and Narasimha Bhat, DAC 1991): the **Lily** technology
+mapper, its MIS-style baseline, and every substrate the experiments need --
+Boolean networks, BLIF, subject-graph decomposition, a standard-cell
+library with pattern graphs, quadratic global placement, wirelength and
+channel-routing estimation, static timing, and the benchmark circuit suite.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Chip-area prediction for standard-cell layouts (Pedram & Preas style)."""
+
+from repro.area.estimate import (
+    ChipEstimate,
+    estimate_chip,
+    subject_image,
+    mapped_image,
+)
+
+__all__ = ["ChipEstimate", "estimate_chip", "subject_image", "mapped_image"]

@@ -1,0 +1,45 @@
+"""Benchmark circuits.
+
+``9symml`` is generated exactly (the 9-input symmetric function); the other
+MCNC/ISCAS names of Tables 1–2 are seeded synthetic circuits matched to the
+originals' I/O counts and size profiles (see DESIGN.md §3).  Real
+arithmetic blocks (adders, parity trees, comparators, decoders, muxes) are
+also provided for examples and tests.
+"""
+
+from repro.circuits.arith import (
+    ripple_carry_adder,
+    parity_tree,
+    equality_comparator,
+    decoder,
+    mux_tree,
+)
+from repro.circuits.symmetric import symmetric_function, nine_symml
+from repro.circuits.random_logic import random_network
+from repro.circuits.datapath import alu, array_multiplier, carry_lookahead_adder
+from repro.circuits.suite import (
+    CircuitSpec,
+    SUITE,
+    TABLE1_CIRCUITS,
+    TABLE2_CIRCUITS,
+    build_circuit,
+)
+
+__all__ = [
+    "ripple_carry_adder",
+    "parity_tree",
+    "equality_comparator",
+    "decoder",
+    "mux_tree",
+    "symmetric_function",
+    "nine_symml",
+    "random_network",
+    "alu",
+    "array_multiplier",
+    "carry_lookahead_adder",
+    "CircuitSpec",
+    "SUITE",
+    "TABLE1_CIRCUITS",
+    "TABLE2_CIRCUITS",
+    "build_circuit",
+]

@@ -1,0 +1,34 @@
+"""Lily — the layout-driven technology mapper (the paper's contribution).
+
+The mapper extends the DP covering engine with:
+
+* a live placement of the inchoate network (:mod:`repro.core.state`);
+* true-fanout search and fanin/fanout rectangles (:mod:`repro.core.rectangles`);
+* the CM-of-Merged / CM-of-Fans incremental position update
+  (:mod:`repro.core.position`);
+* wire-cost estimation per candidate match (:mod:`repro.core.wirecost`);
+* the area-mode and delay-mode mappers themselves (:mod:`repro.core.lily`).
+"""
+
+from repro.core.state import PlacementState
+from repro.core.rectangles import (
+    true_fanouts,
+    fanin_rectangle,
+    fanout_rectangle,
+)
+from repro.core.position import cm_of_merged, cm_of_fans
+from repro.core.wirecost import match_wire_cost
+from repro.core.lily import LilyAreaMapper, LilyDelayMapper, LilyOptions
+
+__all__ = [
+    "PlacementState",
+    "true_fanouts",
+    "fanin_rectangle",
+    "fanout_rectangle",
+    "cm_of_merged",
+    "cm_of_fans",
+    "match_wire_cost",
+    "LilyAreaMapper",
+    "LilyDelayMapper",
+    "LilyOptions",
+]

@@ -1,0 +1,33 @@
+"""End-to-end flows: the two Section 5 pipelines (MIS-then-layout and
+Lily-with-layout) sharing an identical placement/routing back-end, plus the
+drivers that regenerate Tables 1 and 2."""
+
+from repro.flow.pipeline import (
+    BackendResult,
+    FlowResult,
+    lily_flow,
+    mis_flow,
+    place_and_route,
+)
+from repro.flow.tables import (
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "BackendResult",
+    "FlowResult",
+    "mis_flow",
+    "lily_flow",
+    "place_and_route",
+    "Table1Row",
+    "Table2Row",
+    "run_table1",
+    "run_table2",
+    "format_table1",
+    "format_table2",
+]

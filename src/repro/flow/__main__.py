@@ -1,0 +1,79 @@
+"""Command-line driver.
+
+Commands:
+    table1                regenerate Table 1 (area mode)
+    table2                regenerate Table 2 (delay mode)
+    report <circuit>      detailed MIS-vs-Lily report for one circuit
+                          (``--svg out.svg`` also writes the Lily layout)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.flow.tables import (
+    format_table1,
+    format_table2,
+    run_table1,
+    run_table2,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.flow")
+    parser.add_argument("command", choices=["table1", "table2", "report"])
+    parser.add_argument("circuits", nargs="*",
+                        help="circuit names (default: full table)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size scale for the synthetic circuits")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip equivalence checking (faster)")
+    parser.add_argument("--mode", choices=["area", "timing"], default="area",
+                        help="pipeline mode for 'report'")
+    parser.add_argument("--svg", default=None,
+                        help="write the Lily layout as SVG (report only)")
+    args = parser.parse_args(argv)
+
+    circuits = args.circuits or None
+    verify = not args.no_verify
+    if args.command == "table1":
+        rows = run_table1(circuits, scale=args.scale, verify=verify)
+        print(format_table1(rows))
+    elif args.command == "table2":
+        rows = run_table2(circuits, scale=args.scale, verify=verify)
+        print(format_table2(rows))
+    else:
+        _report(args, verify)
+    return 0
+
+
+def _report(args, verify: bool) -> None:
+    from repro.circuits.suite import build_circuit
+    from repro.flow.pipeline import lily_flow, mis_flow
+    from repro.flow.report import circuit_report, comparison_report
+    from repro.library.standard import big_library
+
+    if not args.circuits:
+        raise SystemExit("report needs a circuit name")
+    library = big_library()
+    for name in args.circuits:
+        net = build_circuit(name, scale=args.scale)
+        mis = mis_flow(net, library, mode=args.mode, verify=verify)
+        lily = lily_flow(net, library, mode=args.mode, verify=verify)
+        print(comparison_report(mis, lily))
+        print()
+        print(circuit_report(lily))
+        if args.svg:
+            from repro.viz import layout_svg
+
+            svg = layout_svg(
+                lily.backend.routed, lily.backend.pad_positions
+            )
+            with open(args.svg, "w") as f:
+                f.write(svg)
+            print(f"\nlayout written to {args.svg}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

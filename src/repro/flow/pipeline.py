@@ -1,0 +1,289 @@
+"""The two experimental pipelines of Section 5.
+
+1. **MIS pipeline** — read the optimized circuit, run the MIS mapper (area
+   or timing mode), *then* assign I/O pads, do placement and routing.  The
+   mapper cannot see pad locations.
+2. **Lily pipeline** — assign I/O pads first, run Lily (which places the
+   inchoate network against those pads), then the *same* placement and
+   routing back-end.
+
+Both flows share pad ordering (from the source network's connectivity),
+the global/detailed placer, the router and the timing model, so any
+difference in the reported metrics comes from the mapping itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.area.estimate import ChipEstimate, estimate_chip, mapped_image, subject_image
+from repro.core.lily import LilyAreaMapper, LilyDelayMapper, LilyOptions
+from repro.geometry import Point, Rect
+from repro.library.cell import Library
+from repro.map.base import MapResult
+from repro.map.mis import MisAreaMapper, MisDelayMapper
+from repro.map.netlist import MappedNetwork
+from repro.network.decompose import decompose_to_subject
+from repro.network.network import Network
+from repro.network.simulate import networks_equivalent
+from repro.place.detailed import DetailedPlacement, detailed_place
+from repro.place.global_place import GlobalPlacer
+from repro.place.hypergraph import mapped_netlist
+from repro.place.pads import io_affinity_order, perimeter_slots
+from repro.route.global_route import RoutedDesign, route_design
+from repro.timing.model import WireCapModel
+from repro.timing.sta import TimingReport, analyze
+
+__all__ = ["BackendResult", "FlowResult", "mis_flow", "lily_flow",
+           "place_and_route", "pads_from_order"]
+
+
+@dataclass
+class BackendResult:
+    """Placement + routing + timing of a mapped netlist."""
+
+    detailed: DetailedPlacement
+    routed: RoutedDesign
+    chip: ChipEstimate
+    timing: TimingReport
+    pad_positions: Dict[str, Point]
+
+    @property
+    def chip_area_mm2(self) -> float:
+        return self.chip.chip_area / 1e6
+
+    @property
+    def wire_length_mm(self) -> float:
+        return self.routed.total_wire_length / 1e3
+
+
+@dataclass
+class FlowResult:
+    """Everything one pipeline run reports."""
+
+    circuit: str
+    mapper: str  # "mis" | "lily"
+    mode: str  # "area" | "timing"
+    map_result: MapResult
+    backend: BackendResult
+    equivalent: bool
+    runtime_s: float
+
+    @property
+    def mapped(self) -> MappedNetwork:
+        return self.map_result.mapped
+
+    @property
+    def num_gates(self) -> int:
+        return self.map_result.num_gates
+
+    @property
+    def instance_area_mm2(self) -> float:
+        """Total active cell area, mm² (Table 1/2 'inst' column)."""
+        return self.map_result.cell_area / 1e6
+
+    @property
+    def chip_area_mm2(self) -> float:
+        return self.backend.chip_area_mm2
+
+    @property
+    def wire_length_mm(self) -> float:
+        return self.backend.wire_length_mm
+
+    @property
+    def delay(self) -> float:
+        return self.backend.timing.critical_delay
+
+
+def pads_from_order(order: List[str], region: Rect) -> Dict[str, Point]:
+    """Place an already-ordered pad list on a region's perimeter."""
+    slots = perimeter_slots(region, len(order))
+    return {name: slot for name, slot in zip(order, slots)}
+
+
+def _po_name_map(net: Network) -> Dict[str, str]:
+    """Source PO name -> same name (POs keep their names through mapping)."""
+    return {po.name: po.name for po in net.primary_outputs}
+
+
+def place_and_route(
+    mapped: MappedNetwork,
+    pad_order: List[str],
+    wire_model: Optional[WireCapModel] = None,
+    seed_positions: Optional[Dict[str, Point]] = None,
+    anneal: bool = False,
+    anneal_seed: int = 0,
+) -> BackendResult:
+    """The shared back-end: global + detailed placement, routing, STA.
+
+    Args:
+        mapped: the mapped netlist.
+        pad_order: circular I/O ordering (shared between pipelines).
+        wire_model: wire capacitance for the final STA.
+        seed_positions: optional pre-existing gate positions (e.g. Lily's
+            constructive placement) used instead of a fresh global
+            placement.
+        anneal: refine the detailed placement with simulated annealing
+            (the TimberWolf-style pass; slower, lower wirelength).
+    """
+    wire_model = wire_model or WireCapModel()
+    region = mapped_image(mapped.total_cell_area())
+    pads = pads_from_order(pad_order, region)
+    netlist = mapped_netlist(mapped, pads)
+
+    if seed_positions is not None:
+        positions = {
+            name: seed_positions.get(name, region.center)
+            for name in netlist.movables
+        }
+    else:
+        placement = GlobalPlacer().place(netlist, region)
+        positions = placement.positions
+
+    detailed = detailed_place(netlist, positions)
+    if anneal:
+        from repro.place.anneal import simulated_annealing
+
+        simulated_annealing(detailed, netlist, seed=anneal_seed)
+    routed = route_design(mapped, detailed, pads)
+    chip = estimate_chip(
+        routed.chip_width, routed.chip_height, mapped.total_cell_area()
+    )
+
+    # Final gate positions (post restack) feed the wiring-aware STA.
+    for gate in mapped.gates:
+        gate.position = routed.placement.positions.get(gate.name, gate.position)
+    for name, p in pads.items():
+        if name in mapped:
+            mapped[name].position = p
+    timing = analyze(mapped, wire_model=wire_model)
+    return BackendResult(detailed, routed, chip, timing, pads)
+
+
+def mis_flow(
+    net: Network,
+    library: Library,
+    mode: str = "area",
+    wire_model: Optional[WireCapModel] = None,
+    verify: bool = True,
+) -> FlowResult:
+    """Pipeline 1: MIS mapping, layout afterwards."""
+    start = time.time()
+    subject = decompose_to_subject(net)
+    if mode == "area":
+        mapper = MisAreaMapper(library)
+    elif mode == "timing":
+        mapper = MisDelayMapper(library)
+    else:
+        raise ValueError(f"unknown mode: {mode!r}")
+    result = mapper.map(subject)
+    pad_order = io_affinity_order(net)
+    pad_order = _mapped_terminal_names(result.mapped, pad_order)
+    backend = place_and_route(result.mapped, pad_order, wire_model)
+    equivalent = (
+        networks_equivalent(net, result.mapped) if verify else True
+    )
+    return FlowResult(
+        net.name, "mis", mode, result, backend, equivalent,
+        time.time() - start,
+    )
+
+
+def lily_flow(
+    net: Network,
+    library: Library,
+    mode: str = "area",
+    options: Optional[LilyOptions] = None,
+    wire_model: Optional[WireCapModel] = None,
+    verify: bool = True,
+    seed_backend_from_mapper: bool = False,
+    layout_driven_decomposition: bool = False,
+) -> FlowResult:
+    """Pipeline 2: pads first, Lily mapping, same layout back-end.
+
+    ``layout_driven_decomposition`` enables the extension the paper's
+    conclusion proposes ("consider layout effects during ... node
+    decomposition"): the source network is quickly placed against the pads
+    and each node's decomposition tree is built proximity-first, so nearby
+    signals enter each tree at topologically-near points (Figure 1.1b).
+    """
+    start = time.time()
+    pad_order = io_affinity_order(net)
+    if layout_driven_decomposition:
+        subject = _decompose_layout_driven(net, pad_order)
+    else:
+        subject = decompose_to_subject(net)
+    region = subject_image(len(subject.gates))
+    subject_pads = pads_from_order(
+        _subject_terminal_names(subject, pad_order), region
+    )
+    if options is None and mode == "timing":
+        # CM-of-Merged keeps the evolving placement balanced and — because
+        # both the subject placement and the back-end placement derive from
+        # the same connectivity and pad order — transfers best to the final
+        # layout in delay mode (Section 3.2's stated advantage).
+        options = LilyOptions(position_update="cm_of_merged")
+    if mode == "area":
+        mapper = LilyAreaMapper(
+            library, options=options, region=region, pad_positions=subject_pads
+        )
+    elif mode == "timing":
+        mapper = LilyDelayMapper(
+            library,
+            options=options,
+            region=region,
+            pad_positions=subject_pads,
+            wire_cap=wire_model,
+        )
+    else:
+        raise ValueError(f"unknown mode: {mode!r}")
+    result = mapper.map(subject)
+    backend_pad_order = _mapped_terminal_names(result.mapped, pad_order)
+    seed = None
+    if seed_backend_from_mapper:
+        seed = {
+            g.name: g.position
+            for g in result.mapped.gates
+            if g.position is not None
+        }
+    backend = place_and_route(
+        result.mapped, backend_pad_order, wire_model, seed_positions=seed
+    )
+    equivalent = (
+        networks_equivalent(net, result.mapped) if verify else True
+    )
+    return FlowResult(
+        net.name, "lily", mode, result, backend, equivalent,
+        time.time() - start,
+    )
+
+
+def _decompose_layout_driven(net: Network, pad_order: List[str]):
+    """Place the source network, then decompose proximity-first."""
+    from repro.place.global_place import GlobalPlacer
+    from repro.place.hypergraph import network_netlist
+
+    region = subject_image(max(net.num_literals(), 1))
+    known = {n.name for n in net.primary_inputs}
+    known.update(n.name for n in net.primary_outputs)
+    pads = pads_from_order([n for n in pad_order if n in known], region)
+    netlist = network_netlist(net, pads)
+    placement = GlobalPlacer().place(netlist, region)
+    positions = dict(placement.positions)
+    positions.update(pads)  # PIs appear as leaf positions too
+    return decompose_to_subject(net, positions=positions)
+
+
+def _subject_terminal_names(subject, order: List[str]) -> List[str]:
+    """Translate source-network terminal names to subject-graph names."""
+    known = {n.name for n in subject.primary_inputs}
+    known.update(n.name for n in subject.primary_outputs)
+    return [name for name in order if name in known]
+
+
+def _mapped_terminal_names(mapped: MappedNetwork, order: List[str]) -> List[str]:
+    known = {n.name for n in mapped.primary_inputs}
+    known.update(n.name for n in mapped.primary_outputs)
+    return [name for name in order if name in known]

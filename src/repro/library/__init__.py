@@ -1,0 +1,31 @@
+"""Gate-library substrate: cells with per-pin linear delay models, a genlib
+reader, DAGON-style pattern-graph generation, and the built-in MSU-flavoured
+``tiny`` (<= 3-input) and ``big`` (<= 6-input) standard-cell libraries used by
+the experiments."""
+
+from repro.library.cell import Cell, Library, PinTiming
+from repro.library.genlib import parse_genlib, write_genlib
+from repro.library.patterns import (
+    CellPattern,
+    PatternKind,
+    PatternNode,
+    PatternSet,
+    pattern_set_for,
+)
+from repro.library.standard import big_library, scale_library, tiny_library
+
+__all__ = [
+    "Cell",
+    "Library",
+    "PinTiming",
+    "parse_genlib",
+    "write_genlib",
+    "PatternNode",
+    "PatternKind",
+    "CellPattern",
+    "PatternSet",
+    "pattern_set_for",
+    "big_library",
+    "tiny_library",
+    "scale_library",
+]

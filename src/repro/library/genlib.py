@@ -1,0 +1,133 @@
+"""Reader/writer for the genlib gate-library format used by MIS/SIS.
+
+Supported subset (combinational single-output gates):
+
+    GATE <name> <area> <output>=<expression>;
+    PIN <pin-name | *> <phase> <input-load> <max-load>
+        <rise-block> <rise-fanout-delay> <fall-block> <fall-fanout-delay>
+
+``PIN *`` applies one timing record to every input.  ``LATCH`` and friends
+are rejected — the reproduction maps combinational logic only.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.library.cell import Cell, Library, Pin, PinTiming
+
+__all__ = ["parse_genlib", "write_genlib", "GenlibError"]
+
+
+class GenlibError(ValueError):
+    """Raised on malformed genlib input."""
+
+
+_GATE_RE = re.compile(
+    r"GATE\s+(?P<name>\S+)\s+(?P<area>[\d.eE+-]+)\s+"
+    r"(?P<out>[A-Za-z_][\w\[\]\.]*)\s*=\s*(?P<expr>[^;]+);",
+)
+_PIN_RE = re.compile(
+    r"PIN\s+(?P<pin>\S+)\s+(?P<phase>INV|NONINV|UNKNOWN)\s+"
+    r"(?P<load>[\d.eE+-]+)\s+(?P<maxload>[\d.eE+-]+)\s+"
+    r"(?P<rb>[\d.eE+-]+)\s+(?P<rr>[\d.eE+-]+)\s+"
+    r"(?P<fb>[\d.eE+-]+)\s+(?P<fr>[\d.eE+-]+)"
+)
+
+
+def _strip_comments(text: str) -> str:
+    out_lines = []
+    for line in text.splitlines():
+        hash_pos = line.find("#")
+        if hash_pos >= 0:
+            line = line[:hash_pos]
+        out_lines.append(line)
+    return "\n".join(out_lines)
+
+
+def parse_genlib(text: str, name: str = "genlib") -> Library:
+    """Parse genlib text into a :class:`Library`."""
+    text = _strip_comments(text)
+    if re.search(r"\bLATCH\b", text):
+        raise GenlibError("LATCH gates are not supported")
+
+    cells: List[Cell] = []
+    pos = 0
+    gate_matches = list(_GATE_RE.finditer(text))
+    if not gate_matches:
+        raise GenlibError("no GATE definitions found")
+    for gi, gm in enumerate(gate_matches):
+        body_start = gm.end()
+        body_end = (
+            gate_matches[gi + 1].start() if gi + 1 < len(gate_matches) else len(text)
+        )
+        body = text[body_start:body_end]
+        pin_records: List[Tuple[str, PinTiming, float]] = []
+        for pm in _PIN_RE.finditer(body):
+            timing = PinTiming(
+                rise_block=float(pm.group("rb")),
+                rise_resistance=float(pm.group("rr")),
+                fall_block=float(pm.group("fb")),
+                fall_resistance=float(pm.group("fr")),
+            )
+            pin_records.append((pm.group("pin"), timing, float(pm.group("load"))))
+        cells.append(
+            _build_cell(
+                gm.group("name"),
+                float(gm.group("area")),
+                gm.group("out"),
+                gm.group("expr").strip(),
+                pin_records,
+            )
+        )
+    return Library(name, cells)
+
+
+def _build_cell(
+    name: str,
+    area: float,
+    output: str,
+    expression: str,
+    pin_records: List[Tuple[str, PinTiming, float]],
+) -> Cell:
+    from repro.network.expr import parse_expression
+
+    variables = parse_expression(expression).variables()
+    if not variables:
+        raise GenlibError(f"gate {name!r}: constant gates are not supported")
+
+    wildcard: Optional[Tuple[PinTiming, float]] = None
+    named: Dict[str, Tuple[PinTiming, float]] = {}
+    for pin_name, timing, load in pin_records:
+        if pin_name == "*":
+            wildcard = (timing, load)
+        else:
+            named[pin_name] = (timing, load)
+
+    pins: List[Pin] = []
+    for var in variables:
+        record = named.get(var, wildcard)
+        if record is None:
+            raise GenlibError(f"gate {name!r}: no PIN record for {var!r}")
+        timing, load = record
+        pins.append(Pin(var, load, timing))
+    return Cell(name, area, expression, pins, output_name=output)
+
+
+def write_genlib(library: Library) -> str:
+    """Serialise a library back to genlib text."""
+    lines: List[str] = [f"# library {library.name}"]
+    for cell in library:
+        lines.append(
+            f"GATE {cell.name} {cell.area:g} "
+            f"{cell.output_name}={cell.expression_text};"
+        )
+        for pin in cell.pins:
+            t = pin.timing
+            lines.append(
+                f"  PIN {pin.name} UNKNOWN {pin.input_cap:g} 999 "
+                f"{t.rise_block:g} {t.rise_resistance:g} "
+                f"{t.fall_block:g} {t.fall_resistance:g}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,138 @@
+"""Built-in MSU-flavoured standard-cell libraries.
+
+The paper maps onto the 3µ MSU standard-cell library [12] and, lacking real
+1µ data, linearly scales delay and capacitance (Section 5).  We embed a
+library in genlib form with the classic MSU/MCNC cell set and lib2-style
+areas (µm²); :func:`scale_library` reproduces the paper's 3µ -> 1µ scaling.
+
+Two variants support the Section 5 library-size discussion:
+
+* ``tiny`` — gates with at most 3 inputs;
+* ``big``  — gates with up to 6 inputs (the experiments' default).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.library.cell import Cell, Library, Pin, PinTiming
+from repro.library.genlib import parse_genlib
+
+__all__ = ["big_library", "tiny_library", "scale_library", "BIG_GENLIB"]
+
+#: Default input-pin capacitance, pF — "Most gates in the 3µ MSU standard
+#: cell library have an input capacitance of 0.25 pF" (Section 4.3).
+DEFAULT_INPUT_CAP = 0.25
+
+BIG_GENLIB = """
+# MSU-flavoured big library: cells up to 6 inputs.
+# GATE <name> <area um^2>  O=<expr>;
+#   PIN <name|*> <phase> <cap pF> <maxload> <r-block> <r-res> <f-block> <f-res>
+GATE inv1   928   O=!a;              PIN * INV 0.25 999 0.90 0.50 0.80 0.35
+GATE inv2   1392  O=!a;              PIN * INV 0.50 999 1.00 0.26 0.90 0.19
+GATE inv4   2320  O=!a;              PIN * INV 1.00 999 1.10 0.14 1.00 0.10
+GATE buf1   1392  O=a;               PIN * NONINV 0.25 999 1.80 0.46 1.60 0.40
+GATE nand2  1392  O=!(a*b);          PIN * INV 0.25 999 1.20 0.60 1.00 0.45
+GATE nand3  1856  O=!(a*b*c);        PIN * INV 0.25 999 1.50 0.70 1.30 0.55
+GATE nand4  2320  O=!(a*b*c*d);      PIN * INV 0.25 999 1.80 0.80 1.60 0.65
+GATE nand5  2784  O=!(a*b*c*d*e);    PIN * INV 0.25 999 2.10 0.90 1.90 0.75
+GATE nand6  3248  O=!(a*b*c*d*e*f);  PIN * INV 0.25 999 2.40 1.00 2.20 0.85
+GATE nor2   1392  O=!(a+b);          PIN * INV 0.25 999 1.40 0.70 1.10 0.50
+GATE nor3   1856  O=!(a+b+c);        PIN * INV 0.25 999 1.80 0.85 1.40 0.60
+GATE nor4   2320  O=!(a+b+c+d);      PIN * INV 0.25 999 2.20 1.00 1.70 0.70
+GATE nor5   2784  O=!(a+b+c+d+e);    PIN * INV 0.25 999 2.60 1.15 2.00 0.80
+GATE nor6   3248  O=!(a+b+c+d+e+f);  PIN * INV 0.25 999 3.00 1.30 2.30 0.90
+GATE and2   1856  O=a*b;             PIN * NONINV 0.25 999 2.00 0.55 1.80 0.45
+GATE and3   2320  O=a*b*c;           PIN * NONINV 0.25 999 2.30 0.62 2.10 0.52
+GATE and4   2784  O=a*b*c*d;         PIN * NONINV 0.25 999 2.60 0.70 2.40 0.58
+GATE or2    1856  O=a+b;             PIN * NONINV 0.25 999 2.20 0.60 1.90 0.48
+GATE or3    2320  O=a+b+c;           PIN * NONINV 0.25 999 2.60 0.68 2.20 0.55
+GATE or4    2784  O=a+b+c+d;         PIN * NONINV 0.25 999 3.00 0.76 2.50 0.62
+GATE aoi21  1856  O=!(a*b+c);        PIN * INV 0.25 999 1.60 0.75 1.40 0.60
+GATE aoi22  2320  O=!(a*b+c*d);      PIN * INV 0.25 999 1.90 0.85 1.70 0.70
+GATE oai21  1856  O=!((a+b)*c);      PIN * INV 0.25 999 1.60 0.75 1.40 0.60
+GATE oai22  2320  O=!((a+b)*(c+d));  PIN * INV 0.25 999 1.90 0.85 1.70 0.70
+GATE aoi211 2320  O=!(a*b+c+d);      PIN * INV 0.25 999 2.00 0.90 1.80 0.72
+GATE oai211 2320  O=!((a+b)*c*d);    PIN * INV 0.25 999 2.00 0.90 1.80 0.72
+GATE aoi222 2784  O=!(a*b+c*d+e*f);  PIN * INV 0.25 999 2.30 1.00 2.10 0.82
+GATE aoi33  3248  O=!(a*b*c+d*e*f);  PIN * INV 0.25 999 2.50 1.05 2.30 0.86
+GATE oai33  3248  O=!((a+b+c)*(d+e+f)); PIN * INV 0.25 999 2.50 1.05 2.30 0.86
+GATE xor2   2784  O=a*!b+!a*b;       PIN * UNKNOWN 0.30 999 2.40 0.90 2.20 0.80
+GATE xnor2  2784  O=a*b+!a*!b;       PIN * UNKNOWN 0.30 999 2.40 0.90 2.20 0.80
+GATE mux21  2784  O=s*a+!s*b;        PIN * UNKNOWN 0.25 999 2.50 0.80 2.30 0.70
+"""
+
+#: Cells admitted into the tiny (<= 3-input) library.
+_TINY_CELLS = (
+    "inv1",
+    "inv2",
+    "buf1",
+    "nand2",
+    "nand3",
+    "nor2",
+    "nor3",
+    "and2",
+    "or2",
+    "aoi21",
+    "oai21",
+    "xor2",
+    "xnor2",
+    "mux21",
+)
+
+
+@functools.lru_cache(maxsize=None)
+def big_library() -> Library:
+    """The big (<= 6-input) library — default target of the experiments."""
+    lib = parse_genlib(BIG_GENLIB, name="big")
+    return lib
+
+
+@functools.lru_cache(maxsize=None)
+def tiny_library() -> Library:
+    """The tiny (<= 3-input) library of the Section 5 discussion."""
+    big = big_library()
+    return Library("tiny", [big[name] for name in _TINY_CELLS])
+
+
+def scale_library(
+    library: Library,
+    factor: float,
+    name: str = "",
+    scale_area: bool = False,
+) -> Library:
+    """Linearly scale delays and capacitances, as in the paper's 3µ -> 1µ move.
+
+    The paper scaled "the delay, gate capacitance and wiring capacitance of
+    3µ technology" [12] for its Table 2 — note that cell *areas* (and hence
+    chip geometry and wire lengths) stayed at the 3µ values, which is
+    exactly why wiring delay is significant in that experiment.  Pass
+    ``scale_area=True`` to also shrink areas by ``factor**2`` (a true full
+    shrink).
+    """
+    cells = []
+    for cell in library:
+        pins = [
+            Pin(
+                p.name,
+                p.input_cap * factor,
+                PinTiming(
+                    p.timing.rise_block * factor,
+                    p.timing.rise_resistance,
+                    p.timing.fall_block * factor,
+                    p.timing.fall_resistance,
+                ),
+            )
+            for p in cell.pins
+        ]
+        area = cell.area * (factor * factor if scale_area else 1.0)
+        cells.append(
+            Cell(
+                cell.name,
+                area,
+                cell.expression_text,
+                pins,
+                output_name=cell.output_name,
+            )
+        )
+    return Library(name or f"{library.name}_x{factor:g}", cells)

@@ -1,0 +1,329 @@
+"""The shared dynamic-programming covering engine (DAGON/MIS style).
+
+Cones are processed one primary output at a time (optionally in Lily's
+Section 3.5 order).  Within a cone, every gate node gets its best match by
+bottom-up DP: the cost of match ``m`` at node ``v`` is the hook-defined
+combination of the gate's own cost and the best costs of the match inputs.
+The chosen cover is then committed: match roots become *hawks* (instantiated
+library gates), covered interior nodes become *doves*, and logic shared with
+later cones may be duplicated (dove reincarnation) exactly as in Section 2.
+
+Subclasses specialise four hooks:
+
+* :meth:`evaluate_match` — the cost function (area / arrival / layout);
+* :meth:`hawk_solution` — the cost of reusing an already-mapped node;
+* :meth:`position_for` — a ``map_position`` for a committed gate (Lily);
+* :meth:`on_begin` / :meth:`on_cone_done` / :meth:`on_commit` — lifecycle
+  hooks (Lily's placement bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry import Point
+from repro.library.cell import Library
+from repro.library.patterns import pattern_set_for
+from repro.map.cones import logic_cones, order_cones
+from repro.map.lifecycle import LifecycleTracker, NodeState
+from repro.map.netlist import MappedNetwork, MappedNode
+from repro.match.treematch import Match, Matcher
+from repro.network.subject import SubjectGraph, SubjectNode
+
+__all__ = ["Solution", "MapResult", "BaseMapper", "NoMatchError"]
+
+
+class NoMatchError(RuntimeError):
+    """No library pattern matches a subject node (library not complete)."""
+
+
+@dataclass
+class Solution:
+    """The best (so far) implementation choice at a subject node."""
+
+    node: SubjectNode
+    match: Optional[Match]  # None for leaves and reused hawks
+    cost: float  # primary objective (mode-dependent)
+    area: float = 0.0  # cumulative duplicated-area estimate
+    arrival: float = 0.0  # estimated output arrival time
+    wire: float = 0.0  # cumulative wire-cost estimate (Lily)
+    #: Tentative constructive mapPosition of the matched gate (Lily).
+    position: Optional[Point] = None
+    #: Per-pin block arrival times b_i = t_i + I_i (Lily delay mode).
+    block_arrivals: Optional[List[float]] = None
+
+    def key(self) -> tuple:
+        """Deterministic comparison key: cost, then area, then identity."""
+        cell = self.match.cell.name if self.match else ""
+        return (self.cost, self.area, cell)
+
+
+@dataclass
+class MapResult:
+    """Everything a flow needs after mapping."""
+
+    mapped: MappedNetwork
+    subject: SubjectGraph
+    lifecycle: LifecycleTracker
+    cone_order: List[int]
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.mapped.gates)
+
+    @property
+    def cell_area(self) -> float:
+        return self.mapped.total_cell_area()
+
+
+class BaseMapper:
+    """DP tree/DAG covering over logic cones.
+
+    Args:
+        library: target gate library.
+        tree_mode: restrict matches to DAGON's maximal-tree partition
+            (no match may cross a multi-fanout stem).
+        use_cone_ordering: process cones in the Section 3.5 order instead
+            of declaration order.
+    """
+
+    def __init__(
+        self,
+        library: Library,
+        tree_mode: bool = False,
+        use_cone_ordering: bool = False,
+        matcher=None,
+    ) -> None:
+        self.library = library
+        self.patterns = pattern_set_for(library)
+        if matcher is None:
+            matcher = Matcher(self.patterns, tree_mode=tree_mode)
+        self.matcher = matcher
+        self.tree_mode = tree_mode
+        self.use_cone_ordering = use_cone_ordering
+        # Per-run state, initialised in map().
+        self.subject: Optional[SubjectGraph] = None
+        self.lifecycle: Optional[LifecycleTracker] = None
+        self.mapped: Optional[MappedNetwork] = None
+        self.instances: Dict[int, MappedNode] = {}
+        self.memo: Dict[int, Solution] = {}
+        self._gate_counter = 0
+        self._match_cache: Dict[int, List[Match]] = {}
+
+    # -- hooks (overridden by subclasses) ------------------------------------
+
+    def on_begin(self, subject: SubjectGraph) -> None:
+        """Called once before any cone is processed."""
+
+    def on_cone_begin(self, po: SubjectNode) -> None:
+        """Called before each cone's DP pass starts."""
+
+    def on_cone_done(self, po: SubjectNode) -> None:
+        """Called after each cone's cover has been committed."""
+
+    def on_commit(self, node: SubjectNode, solution: Solution,
+                  instance: MappedNode) -> None:
+        """Called for each gate instantiated while committing a cover."""
+
+    def evaluate_match(
+        self, node: SubjectNode, match: Match, inputs: Sequence[Solution]
+    ) -> Solution:
+        """Cost of implementing ``node`` with ``match`` — the DP objective.
+
+        The base implementation is MIS area mode: gate area plus the summed
+        costs of the match inputs.
+        """
+        cost = match.cell.area + sum(s.cost for s in inputs)
+        area = match.cell.area + sum(s.area for s in inputs)
+        return Solution(node, match, cost=cost, area=area)
+
+    def hawk_solution(self, node: SubjectNode) -> Solution:
+        """Cost of reusing an already-instantiated (hawk) node's output."""
+        instance = self.instances[node.uid]
+        arrival = instance.arrival if instance.arrival is not None else 0.0
+        return Solution(node, None, cost=0.0, area=0.0, arrival=arrival)
+
+    def leaf_solution(self, node: SubjectNode) -> Solution:
+        """Cost of a primary input or constant leaf."""
+        return Solution(node, None, cost=0.0, area=0.0, arrival=0.0)
+
+    def position_for(
+        self, node: SubjectNode, match: Match
+    ) -> Optional[Point]:
+        """``map_position`` for a newly committed gate (Lily overrides)."""
+        return None
+
+    def cone_sequence(self, subject: SubjectGraph, cones) -> List[int]:
+        """Order in which cones are processed."""
+        if self.use_cone_ordering:
+            return order_cones(subject, cones)
+        return list(range(len(cones)))
+
+    # -- main entry -------------------------------------------------------------
+
+    def map(self, subject: SubjectGraph) -> MapResult:
+        """Cover the subject graph; returns the mapped netlist and records."""
+        self.subject = subject
+        self.lifecycle = LifecycleTracker()
+        self.mapped = MappedNetwork(f"{subject.name}_mapped")
+        self.instances = {}
+        self._gate_counter = 0
+        self._match_cache = {}
+
+        for pi in subject.primary_inputs:
+            self.instances[pi.uid] = self.mapped.add_primary_input(pi.name)
+
+        bind = getattr(self.matcher, "bind", None)
+        if bind is not None:
+            bind(subject)
+        cones = logic_cones(subject)
+        order = self.cone_sequence(subject, cones)
+        self.on_begin(subject)
+        for index in order:
+            po, cone = cones[index]
+            self._map_cone(po, cone)
+        self.mapped.check()
+        live_gates = [
+            n
+            for n in subject.transitive_fanin(subject.primary_outputs)
+            if n.is_gate
+        ]
+        if not self.lifecycle.finished(live_gates):
+            raise RuntimeError(
+                "mapping left live nodes that are neither hawk nor dove"
+            )
+        return MapResult(self.mapped, subject, self.lifecycle, list(order))
+
+    # -- cone processing -----------------------------------------------------------
+
+    def _matches_at(self, node: SubjectNode) -> List[Match]:
+        cached = self._match_cache.get(node.uid)
+        if cached is None:
+            cached = self.matcher.matches_at(node)
+            self._match_cache[node.uid] = cached
+        return cached
+
+    def _map_cone(self, po: SubjectNode, cone: Set[SubjectNode]) -> None:
+        driver = po.fanins[0]
+        self.memo = {}
+        self.on_cone_begin(po)
+        if driver.is_gate:
+            self._solve_cone(driver, cone)
+            instance = self._commit(driver)
+        elif driver.is_pi:
+            instance = self.instances[driver.uid]
+        else:  # constant
+            instance = self._constant_instance(driver)
+        self.mapped.add_primary_output(po.name, instance)
+        self.on_cone_done(po)
+
+    def _solve_cone(self, root: SubjectNode, cone: Set[SubjectNode]) -> None:
+        """Bottom-up DP over the cone's gates (reversed-DFS order)."""
+        for node in self._cone_topological(root):
+            if self.lifecycle.is_hawk(node):
+                continue  # reuse: its gate already exists
+            self.lifecycle.visit(node)
+            best: Optional[Solution] = None
+            for match in self._matches_at(node):
+                inputs = [self.solution_of(v) for v in match.inputs]
+                solution = self.evaluate_match(node, match, inputs)
+                if solution is None:
+                    continue
+                if best is None or solution.key() < best.key():
+                    best = solution
+            if best is None:
+                raise NoMatchError(
+                    f"no match at {node.name} ({node.type.value}); "
+                    f"library {self.library.name!r} cannot cover the graph"
+                )
+            self.memo[node.uid] = best
+
+    def _cone_topological(self, root: SubjectNode) -> List[SubjectNode]:
+        """Gate nodes of the cone of ``root`` in fanin-first order."""
+        order: List[SubjectNode] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[SubjectNode, int]] = [(root, 0)]
+        on_stack = {root.uid}
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(node.fanins):
+                stack[-1] = (node, idx + 1)
+                child = node.fanins[idx]
+                if child.is_gate and child.uid not in visited and child.uid not in on_stack:
+                    stack.append((child, 0))
+                    on_stack.add(child.uid)
+            else:
+                stack.pop()
+                on_stack.discard(node.uid)
+                if node.uid not in visited:
+                    visited.add(node.uid)
+                    order.append(node)
+        return order
+
+    def solution_of(self, node: SubjectNode) -> Solution:
+        """Best solution for a node referenced as a match input."""
+        if node.is_pi or node.is_constant:
+            return self.leaf_solution(node)
+        if self.lifecycle.is_hawk(node):
+            return self.hawk_solution(node)
+        return self.memo[node.uid]
+
+    # -- cover commitment -------------------------------------------------------------
+
+    def _constant_instance(self, node: SubjectNode) -> MappedNode:
+        existing = self.instances.get(node.uid)
+        if existing is None:
+            value = node.type.value == "const1"
+            existing = self.mapped.add_constant(f"const{int(value)}", value)
+            self.instances[node.uid] = existing
+        return existing
+
+    def _commit(self, root: SubjectNode) -> MappedNode:
+        """Instantiate the chosen cover of ``root``; returns its instance.
+
+        Iterative post-order over the chosen matches' input DAG; revisits of
+        already-resolved nodes are harmless no-ops.
+        """
+        stack: List[Tuple[SubjectNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_pi or self.lifecycle.is_hawk(node):
+                continue
+            if node.is_constant:
+                self._constant_instance(node)
+                continue
+            solution = self.memo[node.uid]
+            if expanded:
+                self._instantiate(node, solution)
+                continue
+            stack.append((node, True))
+            for v in solution.match.inputs:
+                if not self._is_resolved(v):
+                    stack.append((v, False))
+        return self.instances[root.uid]
+
+    def _is_resolved(self, node: SubjectNode) -> bool:
+        if node.is_pi:
+            return True
+        if node.is_constant:
+            return node.uid in self.instances
+        return self.lifecycle.is_hawk(node)
+
+    def _instantiate(self, node: SubjectNode, solution: Solution) -> None:
+        match = solution.match
+        fanins = []
+        for v in match.inputs:
+            if v.is_constant and v.uid not in self.instances:
+                self._constant_instance(v)
+            fanins.append(self.instances[v.uid])
+        self._gate_counter += 1
+        name = f"{match.cell.name}_{self._gate_counter}"
+        instance = self.mapped.add_gate(name, match.cell, fanins)
+        instance.arrival = solution.arrival
+        instance.position = self.position_for(node, match)
+        self.lifecycle.make_hawk(node)
+        for inner in match.inner:
+            self.lifecycle.make_dove(inner)
+        self.instances[node.uid] = instance
+        self.on_commit(node, solution, instance)

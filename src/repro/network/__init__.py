@@ -1,0 +1,34 @@
+"""Boolean network substrate: logic functions, networks, BLIF I/O,
+technology decomposition into the NAND2/INV subject graph, and bit-parallel
+simulation used for equivalence checking of mapped circuits."""
+
+from repro.network.logic import Cube, SopCover, TruthTable
+from repro.network.network import Network, Node, NodeKind
+from repro.network.blif import parse_blif, parse_blif_file, write_blif
+from repro.network.decompose import decompose_to_subject
+from repro.network.subject import SubjectGraph, SubjectNode, SubjectNodeType
+from repro.network.simulate import simulate, networks_equivalent
+from repro.network.optimize import CleanupStats, clean_network
+from repro.network.factor import FactorStats, extract_common_cubes
+
+__all__ = [
+    "CleanupStats",
+    "clean_network",
+    "FactorStats",
+    "extract_common_cubes",
+    "Cube",
+    "SopCover",
+    "TruthTable",
+    "Network",
+    "Node",
+    "NodeKind",
+    "parse_blif",
+    "parse_blif_file",
+    "write_blif",
+    "decompose_to_subject",
+    "SubjectGraph",
+    "SubjectNode",
+    "SubjectNodeType",
+    "simulate",
+    "networks_equivalent",
+]

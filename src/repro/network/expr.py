@@ -1,0 +1,271 @@
+"""A small Boolean-expression language and parser.
+
+Used by the genlib library reader (cell functions like ``!(A*B+C*D)``), by
+the circuit generators, and by tests.  Supported syntax:
+
+* identifiers (``[A-Za-z_][A-Za-z0-9_\\[\\]\\.]*``), constants ``0`` / ``1``
+* negation: prefix ``!`` or postfix ``'``
+* conjunction: ``*`` or ``&``
+* disjunction: ``+`` or ``|``
+* exclusive-or: ``^``
+* parentheses
+
+Precedence, loosest to tightest: ``+`` < ``^`` < ``*`` < negation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.logic import TruthTable
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expression",
+    "ExprError",
+]
+
+
+class ExprError(ValueError):
+    """Raised on a malformed expression."""
+
+
+class Expr:
+    """Base class for expression AST nodes."""
+
+    def variables(self) -> List[str]:
+        """Variable names in order of first occurrence (left to right)."""
+        seen: List[str] = []
+        self._collect(seen)
+        return seen
+
+    def _collect(self, seen: List[str]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def to_truth_table(self, var_order: Optional[Sequence[str]] = None) -> TruthTable:
+        """Dense truth table over ``var_order`` (default: first-occurrence order)."""
+        order = list(var_order) if var_order is not None else self.variables()
+        index = {name: i for i, name in enumerate(order)}
+        missing = [v for v in self.variables() if v not in index]
+        if missing:
+            raise ExprError(f"variables not in order list: {missing}")
+
+        def fn(assignment: Tuple[bool, ...]) -> bool:
+            env = {name: assignment[index[name]] for name in order}
+            return self.evaluate(env)
+
+        return TruthTable.from_function(len(order), fn)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def _collect(self, seen: List[str]) -> None:
+        if self.name not in seen:
+            seen.append(self.name)
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        return env[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: bool
+
+    def _collect(self, seen: List[str]) -> None:
+        pass
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    child: Expr
+
+    def _collect(self, seen: List[str]) -> None:
+        self.child._collect(seen)
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        return not self.child.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"!{self.child}" if isinstance(self.child, (Var, Const)) else f"!({self.child})"
+
+
+class _Nary(Expr):
+    """Common base for associative n-ary connectives."""
+
+    symbol = "?"
+
+    def __init__(self, children: Sequence[Expr]) -> None:
+        if len(children) < 2:
+            raise ExprError(f"{type(self).__name__} needs >= 2 children")
+        self.children: Tuple[Expr, ...] = tuple(children)
+
+    def _collect(self, seen: List[str]) -> None:
+        for child in self.children:
+            child._collect(seen)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, _Nary):
+                text = f"({text})"
+            parts.append(text)
+        return self.symbol.join(parts)
+
+
+class And(_Nary):
+    symbol = "*"
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        return all(c.evaluate(env) for c in self.children)
+
+
+class Or(_Nary):
+    symbol = "+"
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        return any(c.evaluate(env) for c in self.children)
+
+
+class Xor(_Nary):
+    symbol = "^"
+
+    def evaluate(self, env: Dict[str, bool]) -> bool:
+        result = False
+        for c in self.children:
+            result ^= c.evaluate(env)
+        return result
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\[\]\.]*)"
+    r"|(?P<const>[01])"
+    r"|(?P<op>[!'*&+|^()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ExprError(f"bad character at {text[pos:]!r}")
+        if m.end() == pos:  # only whitespace consumed and nothing matched
+            break
+        if m.group("ident"):
+            tokens.append(("ident", m.group("ident")))
+        elif m.group("const"):
+            tokens.append(("const", m.group("const")))
+        else:
+            op = m.group("op")
+            op = {"&": "*", "|": "+"}.get(op, op)
+            tokens.append(("op", op))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser: or_expr > xor_expr > and_expr > unary."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ExprError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect_op(self, op: str) -> None:
+        tok = self.take()
+        if tok != ("op", op):
+            raise ExprError(f"expected {op!r}, got {tok!r}")
+
+    def parse(self) -> Expr:
+        expr = self.or_expr()
+        if self.peek() is not None:
+            raise ExprError(f"trailing tokens: {self.tokens[self.pos:]!r}")
+        return expr
+
+    def or_expr(self) -> Expr:
+        parts = [self.xor_expr()]
+        while self.peek() == ("op", "+"):
+            self.take()
+            parts.append(self.xor_expr())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def xor_expr(self) -> Expr:
+        parts = [self.and_expr()]
+        while self.peek() == ("op", "^"):
+            self.take()
+            parts.append(self.and_expr())
+        return parts[0] if len(parts) == 1 else Xor(parts)
+
+    def and_expr(self) -> Expr:
+        parts = [self.unary()]
+        while self.peek() == ("op", "*"):
+            self.take()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def unary(self) -> Expr:
+        tok = self.take()
+        if tok == ("op", "!"):
+            return self._postfix(Not(self.unary()))
+        if tok == ("op", "("):
+            inner = self.or_expr()
+            self.expect_op(")")
+            return self._postfix(inner)
+        if tok[0] == "ident":
+            return self._postfix(Var(tok[1]))
+        if tok[0] == "const":
+            return self._postfix(Const(tok[1] == "1"))
+        raise ExprError(f"unexpected token {tok!r}")
+
+    def _postfix(self, expr: Expr) -> Expr:
+        while self.peek() == ("op", "'"):
+            self.take()
+            expr = Not(expr)
+        return expr
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse Boolean-expression text into an AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExprError("empty expression")
+    return _Parser(tokens).parse()

@@ -1,0 +1,205 @@
+"""Simulated-annealing detailed-placement improvement (TimberWolf style).
+
+The paper's back-end used TimberWolf 4.2, a simulated-annealing placer.
+This module refines a row-legalised placement with the classic SA loop:
+random pairwise cell swaps (within and across rows, with row repacking and
+capacity control), Metropolis acceptance on half-perimeter wirelength, and
+geometric cooling from an automatically calibrated starting temperature.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Point
+from repro.place.detailed import DetailedPlacement, Row
+from repro.place.hypergraph import PlacementNetlist
+
+__all__ = ["AnnealStats", "simulated_annealing"]
+
+
+@dataclass
+class AnnealStats:
+    """Outcome of one annealing run."""
+
+    initial_hpwl: float = 0.0
+    final_hpwl: float = 0.0
+    moves_tried: int = 0
+    moves_accepted: int = 0
+    initial_temperature: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_hpwl <= 0:
+            return 0.0
+        return 1.0 - self.final_hpwl / self.initial_hpwl
+
+
+class _Incremental:
+    """Incremental HPWL bookkeeping over a mutable placement."""
+
+    def __init__(
+        self, placement: DetailedPlacement, netlist: PlacementNetlist
+    ) -> None:
+        self.placement = placement
+        self.netlist = netlist
+        self.cell_nets: Dict[str, List[int]] = {}
+        for net_id, net in enumerate(netlist.nets):
+            for pin in net:
+                self.cell_nets.setdefault(pin, []).append(net_id)
+        self.net_hpwl: List[float] = [
+            self._compute(net) for net in netlist.nets
+        ]
+        self.total = sum(self.net_hpwl)
+        self.row_of: Dict[str, Row] = {}
+        for row in placement.rows:
+            for cell in row.cells:
+                self.row_of[cell] = row
+        self.widths = {
+            cell: row.x_spans[cell][1] - row.x_spans[cell][0]
+            for row in placement.rows
+            for cell in row.cells
+        }
+        self.capacity = max(
+            (row.width for row in placement.rows), default=0.0
+        ) * 1.05
+
+    def _position(self, pin: str) -> Optional[Point]:
+        p = self.placement.positions.get(pin)
+        if p is not None:
+            return p
+        return self.netlist.fixed.get(pin)
+
+    def _compute(self, net: List[str]) -> float:
+        xs: List[float] = []
+        ys: List[float] = []
+        for pin in net:
+            p = self._position(pin)
+            if p is None:
+                continue
+            xs.append(p.x)
+            ys.append(p.y)
+        if len(xs) < 2:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def affected(self, cells: Tuple[str, ...]) -> List[int]:
+        net_ids: List[int] = []
+        for cell in cells:
+            net_ids.extend(self.cell_nets.get(cell, []))
+        return sorted(set(net_ids))
+
+    def refresh(self, net_ids: List[int]) -> float:
+        """Recompute the given nets; returns the delta applied to total."""
+        delta = 0.0
+        for net_id in net_ids:
+            new = self._compute(self.netlist.nets[net_id])
+            delta += new - self.net_hpwl[net_id]
+            self.net_hpwl[net_id] = new
+        self.total += delta
+        return delta
+
+
+def _repack_row(placement: DetailedPlacement, row: Row) -> None:
+    x = 0.0
+    for cell in row.cells:
+        lo, hi = row.x_spans[cell]
+        width = hi - lo
+        row.x_spans[cell] = (x, x + width)
+        placement.positions[cell] = Point(x + width / 2.0, row.y_center)
+        x += width
+
+
+def _swap_cells(state: _Incremental, a: str, b: str) -> None:
+    """Exchange two cells' slots (possibly across rows) and repack."""
+    row_a, row_b = state.row_of[a], state.row_of[b]
+    ia = row_a.cells.index(a)
+    ib = row_b.cells.index(b)
+    row_a.cells[ia], row_b.cells[ib] = b, a
+    # Move span widths with the cells.
+    wa, wb = state.widths[a], state.widths[b]
+    span_a = row_a.x_spans.pop(a)
+    span_b = row_b.x_spans.pop(b)
+    row_a.x_spans[b] = (span_a[0], span_a[0] + wb)
+    row_b.x_spans[a] = (span_b[0], span_b[0] + wa)
+    state.row_of[a], state.row_of[b] = row_b, row_a
+    _repack_row(state.placement, row_a)
+    if row_b is not row_a:
+        _repack_row(state.placement, row_b)
+
+
+def simulated_annealing(
+    placement: DetailedPlacement,
+    netlist: PlacementNetlist,
+    seed: int = 0,
+    moves_per_cell: int = 40,
+    cooling: float = 0.92,
+    min_acceptance: float = 0.015,
+) -> AnnealStats:
+    """Refine a detailed placement in place; returns run statistics.
+
+    Args:
+        placement: the row placement to improve (mutated).
+        netlist: its hypergraph (for wirelength and fixed pads).
+        seed: RNG seed (runs are deterministic).
+        moves_per_cell: swap attempts per cell per temperature step.
+        cooling: geometric temperature decay per step.
+        min_acceptance: stop when the acceptance rate falls below this.
+    """
+    cells = [c for row in placement.rows for c in row.cells]
+    stats = AnnealStats()
+    if len(cells) < 2:
+        return stats
+    rng = random.Random(seed)
+    state = _Incremental(placement, netlist)
+    stats.initial_hpwl = state.total
+
+    # Calibrate T0 from the spread of random-move deltas.
+    samples: List[float] = []
+    for _ in range(min(60, len(cells) * 2)):
+        a, b = rng.sample(cells, 2)
+        nets = state.affected((a, b))
+        _swap_cells(state, a, b)
+        delta = state.refresh(nets)
+        samples.append(abs(delta))
+        _swap_cells(state, a, b)  # undo
+        state.refresh(nets)
+    mean_delta = sum(samples) / len(samples) if samples else 1.0
+    temperature = max(mean_delta * 10.0, 1e-6)
+    stats.initial_temperature = temperature
+
+    moves_per_step = moves_per_cell * len(cells) // 8
+    while True:
+        accepted = 0
+        for _ in range(max(moves_per_step, 1)):
+            a, b = rng.sample(cells, 2)
+            if state.row_of[a] is not state.row_of[b]:
+                # Capacity control for unequal widths across rows.
+                row_b = state.row_of[b]
+                row_a = state.row_of[a]
+                delta_w = state.widths[a] - state.widths[b]
+                if row_b.width + delta_w > state.capacity:
+                    continue
+                if row_a.width - delta_w > state.capacity:
+                    continue
+            nets = state.affected((a, b))
+            _swap_cells(state, a, b)
+            delta = state.refresh(nets)
+            stats.moves_tried += 1
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                accepted += 1
+                stats.moves_accepted += 1
+            else:
+                _swap_cells(state, a, b)
+                state.refresh(nets)
+        temperature *= cooling
+        if accepted / max(moves_per_step, 1) < min_acceptance:
+            break
+        if temperature < stats.initial_temperature * 1e-4:
+            break
+
+    stats.final_hpwl = state.total
+    return stats

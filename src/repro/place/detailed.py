@@ -1,0 +1,215 @@
+"""Row-based detailed placement for standard cells.
+
+Takes the balanced global placement of a mapped netlist and legalises it
+into standard-cell rows (the final placement step of both Section 5
+pipelines): cells are binned into rows by their global ``y`` (respecting
+row capacity), packed left-to-right by global ``x``, and optionally
+improved by a greedy adjacent-swap pass on half-perimeter wirelength.
+
+Row geometry follows the classic double-back standard-cell image: fixed
+cell height, rows separated by routing channels whose heights the channel
+router determines afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.place.hypergraph import PlacementNetlist
+
+__all__ = ["Row", "DetailedPlacement", "detailed_place"]
+
+#: Standard cell height, µm (3µ-era double-row image).
+DEFAULT_CELL_HEIGHT = 64.0
+
+
+@dataclass
+class Row:
+    """One standard-cell row: ordered cells with packed x spans."""
+
+    index: int
+    y_center: float
+    cells: List[str] = field(default_factory=list)
+    x_spans: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def width(self) -> float:
+        if not self.x_spans:
+            return 0.0
+        return max(hi for _lo, hi in self.x_spans.values())
+
+
+@dataclass
+class DetailedPlacement:
+    """Legalised row placement of a mapped netlist."""
+
+    rows: List[Row]
+    positions: Dict[str, Point]
+    cell_height: float
+    channel_height_guess: float
+
+    @property
+    def core_width(self) -> float:
+        return max((row.width for row in self.rows), default=0.0)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def with_channel_heights(self, heights: Sequence[float]) -> "DetailedPlacement":
+        """Re-stack rows with routed channel heights (below each row).
+
+        ``heights[i]`` is the height of the channel *below* row ``i``; a
+        final entry may give the channel above the top row.
+        """
+        if len(heights) < len(self.rows):
+            raise ValueError("need a channel height per row")
+        new_rows: List[Row] = []
+        positions = dict(self.positions)
+        y = 0.0
+        for row in self.rows:
+            y += heights[row.index]
+            y_center = y + self.cell_height / 2.0
+            new_row = Row(row.index, y_center, list(row.cells), dict(row.x_spans))
+            new_rows.append(new_row)
+            for cell in row.cells:
+                lo, hi = row.x_spans[cell]
+                positions[cell] = Point((lo + hi) / 2.0, y_center)
+            y += self.cell_height
+        return DetailedPlacement(
+            new_rows, positions, self.cell_height, self.channel_height_guess
+        )
+
+
+def _choose_num_rows(total_width: float, cell_height: float,
+                     channel_ratio: float) -> int:
+    """Rows for an approximately square core.
+
+    With row pitch ``(1 + channel_ratio) * H`` and core width
+    ``total_width / rows``, squareness gives
+    ``rows = sqrt(total_width / ((1 + channel_ratio) * H))``.
+    """
+    if total_width <= 0:
+        return 1
+    rows = math.sqrt(total_width / ((1.0 + channel_ratio) * cell_height))
+    return max(1, round(rows))
+
+
+def detailed_place(
+    netlist: PlacementNetlist,
+    global_positions: Dict[str, Point],
+    cell_height: float = DEFAULT_CELL_HEIGHT,
+    channel_ratio: float = 1.0,
+    improvement_passes: int = 1,
+    num_rows: Optional[int] = None,
+) -> DetailedPlacement:
+    """Legalise a global placement into standard-cell rows.
+
+    Args:
+        netlist: the placement hypergraph (sizes are cell *areas*).
+        global_positions: balanced global placement to legalise.
+        cell_height: standard-cell height; width = area / height.
+        channel_ratio: assumed channel-to-cell-height ratio for the initial
+            row stacking (the router later replaces it with real heights).
+        improvement_passes: greedy adjacent-swap HPWL passes (0 disables).
+        num_rows: force a row count (default: squareness heuristic).
+    """
+    widths = {
+        name: max(netlist.sizes.get(name, 1.0), 1e-9) / cell_height
+        for name in netlist.movables
+    }
+    total_width = sum(widths.values())
+    if num_rows is None:
+        num_rows = _choose_num_rows(total_width, cell_height, channel_ratio)
+    capacity = total_width / num_rows
+
+    # Bin cells into rows bottom-up by global y, respecting capacity.
+    ordered = sorted(
+        netlist.movables,
+        key=lambda c: (global_positions[c].y, global_positions[c].x, c),
+    )
+    bins: List[List[str]] = [[] for _ in range(num_rows)]
+    fill = [0.0] * num_rows
+    row_index = 0
+    for cell in ordered:
+        while (
+            row_index < num_rows - 1
+            and fill[row_index] + widths[cell] > capacity * 1.0001
+        ):
+            row_index += 1
+        bins[row_index].append(cell)
+        fill[row_index] += widths[cell]
+
+    channel_height = channel_ratio * cell_height
+    rows: List[Row] = []
+    positions: Dict[str, Point] = {}
+    for i, row_cells in enumerate(bins):
+        row_cells.sort(key=lambda c: (global_positions[c].x, c))
+        y_center = channel_height + i * (cell_height + channel_height) + cell_height / 2.0
+        row = Row(i, y_center, row_cells)
+        x = 0.0
+        for cell in row_cells:
+            row.x_spans[cell] = (x, x + widths[cell])
+            positions[cell] = Point(x + widths[cell] / 2.0, y_center)
+            x += widths[cell]
+        rows.append(row)
+
+    placement = DetailedPlacement(rows, positions, cell_height, channel_height)
+    for _ in range(improvement_passes):
+        if not _swap_pass(placement, netlist):
+            break
+    return placement
+
+
+def _swap_pass(placement: DetailedPlacement, netlist: PlacementNetlist) -> bool:
+    """Greedy adjacent-cell swaps inside rows; returns True if improved."""
+    cell_nets: Dict[str, List[int]] = {}
+    for net_id, net in enumerate(netlist.nets):
+        for pin in net:
+            cell_nets.setdefault(pin, []).append(net_id)
+
+    def net_hpwl(net: List[str]) -> float:
+        xs: List[float] = []
+        ys: List[float] = []
+        for pin in net:
+            p = placement.positions.get(pin) or netlist.fixed.get(pin)
+            if p is None:
+                continue
+            xs.append(p.x)
+            ys.append(p.y)
+        if len(xs) < 2:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    improved = False
+    for row in placement.rows:
+        for k in range(len(row.cells) - 1):
+            a, b = row.cells[k], row.cells[k + 1]
+            affected = sorted(set(cell_nets.get(a, []) + cell_nets.get(b, [])))
+            before = sum(net_hpwl(netlist.nets[i]) for i in affected)
+            _swap_in_row(placement, row, k)
+            after = sum(net_hpwl(netlist.nets[i]) for i in affected)
+            if after >= before:
+                _swap_in_row(placement, row, k)  # undo
+            else:
+                improved = True
+    return improved
+
+
+def _swap_in_row(placement: DetailedPlacement, row: Row, k: int) -> None:
+    """Swap the cells at slots k and k+1, repacking their spans."""
+    a, b = row.cells[k], row.cells[k + 1]
+    lo_a, hi_a = row.x_spans[a]
+    lo_b, hi_b = row.x_spans[b]
+    width_a = hi_a - lo_a
+    width_b = hi_b - lo_b
+    start = lo_a
+    row.cells[k], row.cells[k + 1] = b, a
+    row.x_spans[b] = (start, start + width_b)
+    row.x_spans[a] = (start + width_b, start + width_b + width_a)
+    y = row.y_center
+    placement.positions[b] = Point(start + width_b / 2.0, y)
+    placement.positions[a] = Point(start + width_b + width_a / 2.0, y)

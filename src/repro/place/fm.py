@@ -1,0 +1,156 @@
+"""Fiduccia–Mattheyses min-cut bipartitioning.
+
+Used to refine the coordinate-median splits inside the GORDIAN-style global
+placer (the paper's placement engine "uses quadratic optimization and
+bi-partitioning techniques", Section 3.1).  Classic single-cell-move FM
+with gain buckets, area-balance constraint and best-prefix rollback, run
+for a bounded number of passes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["fm_bipartition", "cut_size"]
+
+
+def cut_size(nets: Sequence[Sequence[str]], side: Dict[str, int]) -> int:
+    """Number of nets with pins on both sides (free pins are ignored)."""
+    cut = 0
+    for net in nets:
+        sides = {side[p] for p in net if p in side}
+        if len(sides) > 1:
+            cut += 1
+    return cut
+
+
+def fm_bipartition(
+    cells: Sequence[str],
+    nets: Sequence[Sequence[str]],
+    initial_side: Dict[str, int],
+    sizes: Optional[Dict[str, float]] = None,
+    balance_tolerance: float = 0.1,
+    max_passes: int = 4,
+) -> Dict[str, int]:
+    """Improve a bipartition's cut without violating area balance.
+
+    Args:
+        cells: movable cell names (pins in nets not listed here are fixed
+            and simply contribute to net side counts).
+        nets: hypergraph nets over cell names (and fixed terminal names).
+        initial_side: starting side (0/1) for every cell *and* every fixed
+            terminal appearing in the nets.
+        sizes: cell areas (default 1.0 each).
+        balance_tolerance: allowed deviation of either side's area from
+            half the total, as a fraction of the total.
+        max_passes: FM passes (each pass moves every cell at most once).
+
+    Returns:
+        The improved side assignment for the movable cells (fixed terminals
+        keep their initial sides).
+    """
+    sizes = sizes or {}
+    cell_set = set(cells)
+    side = dict(initial_side)
+    total_area = sum(sizes.get(c, 1.0) for c in cells)
+    if total_area <= 0:
+        return {c: side[c] for c in cells}
+    # Classic FM feasibility: a side may hold half the area plus the
+    # tolerance, but never less than half plus one largest cell (otherwise
+    # no single move is ever legal on small instances).
+    max_cell = max((sizes.get(c, 1.0) for c in cells), default=1.0)
+    max_side_area = max(
+        total_area * (0.5 + balance_tolerance),
+        total_area / 2.0 + max_cell,
+    )
+
+    cell_nets: Dict[str, List[int]] = defaultdict(list)
+    for net_id, net in enumerate(nets):
+        for pin in net:
+            if pin in cell_set:
+                cell_nets[pin].append(net_id)
+
+    for _ in range(max_passes):
+        improved = _fm_pass(
+            cells, nets, cell_nets, side, sizes, max_side_area
+        )
+        if not improved:
+            break
+    return {c: side[c] for c in cells}
+
+
+def _gain(cell: str, nets, cell_nets, side, counts) -> int:
+    """FM gain: nets uncut minus nets newly cut if the cell moves."""
+    s = side[cell]
+    gain = 0
+    for net_id in cell_nets[cell]:
+        same, other = counts[net_id][s], counts[net_id][1 - s]
+        if same == 1:
+            gain += 1  # moving removes this net from the cut
+        if other == 0:
+            gain -= 1  # moving puts this net into the cut
+    return gain
+
+
+def _fm_pass(
+    cells, nets, cell_nets, side, sizes, max_side_area
+) -> bool:
+    """One FM pass; mutates ``side``; returns True if the cut improved."""
+    counts: List[List[int]] = []
+    for net in nets:
+        c = [0, 0]
+        for pin in net:
+            if pin in side:
+                c[side[pin]] += 1
+        counts.append(c)
+
+    side_area = [0.0, 0.0]
+    for c in cells:
+        side_area[side[c]] += sizes.get(c, 1.0)
+
+    locked: Set[str] = set()
+    moves: List[Tuple[str, int]] = []
+    gain_total = 0
+    best_prefix = 0
+    best_gain = 0
+
+    free = list(cells)
+    for _step in range(len(cells)):
+        best_cell = None
+        best_cell_gain = None
+        for cell in free:
+            if cell in locked:
+                continue
+            target = 1 - side[cell]
+            if side_area[target] + sizes.get(cell, 1.0) > max_side_area:
+                continue
+            g = _gain(cell, nets, cell_nets, side, counts)
+            if best_cell_gain is None or g > best_cell_gain:
+                best_cell_gain = g
+                best_cell = cell
+        if best_cell is None:
+            break
+        # Apply the tentative move.
+        s = side[best_cell]
+        for net_id in cell_nets[best_cell]:
+            counts[net_id][s] -= 1
+            counts[net_id][1 - s] += 1
+        side_area[s] -= sizes.get(best_cell, 1.0)
+        side_area[1 - s] += sizes.get(best_cell, 1.0)
+        side[best_cell] = 1 - s
+        locked.add(best_cell)
+        moves.append((best_cell, s))
+        gain_total += best_cell_gain
+        if gain_total > best_gain:
+            best_gain = gain_total
+            best_prefix = len(moves)
+
+    # Roll back past the best prefix.
+    for cell, original in reversed(moves[best_prefix:]):
+        current = side[cell]
+        for net_id in cell_nets[cell]:
+            counts[net_id][current] -= 1
+            counts[net_id][original] += 1
+        side[cell] = original
+    return best_gain > 0

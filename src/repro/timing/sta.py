@@ -1,0 +1,220 @@
+"""Static timing analysis over a mapped netlist.
+
+Implements the recursion of Section 4.1 exactly:
+
+    t_y = max_i ( t_i + I_i + R_i * C_L )      (rise/fall tracked separately)
+
+with ``C_L`` the sum of fanout pin capacitances plus the lumped wire
+capacitance of the output net (Section 4.2).  The mapped netlist must be
+placed (gate positions and pad positions known) for the wire term; without
+positions the wire term falls back to zero or a per-fanout constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.map.netlist import MappedNetwork, MappedNode
+from repro.timing.model import WireCapModel, net_wire_capacitance
+
+__all__ = [
+    "ArrivalTimes",
+    "TimingReport",
+    "analyze",
+    "critical_path",
+    "required_times",
+    "slacks",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalTimes:
+    """Rise/fall arrival at a node output."""
+
+    rise: float
+    fall: float
+
+    @property
+    def worst(self) -> float:
+        return max(self.rise, self.fall)
+
+    @staticmethod
+    def at(value: float) -> "ArrivalTimes":
+        return ArrivalTimes(value, value)
+
+
+@dataclass
+class TimingReport:
+    """Full STA result."""
+
+    arrivals: Dict[str, ArrivalTimes] = field(default_factory=dict)
+    loads: Dict[str, float] = field(default_factory=dict)
+    critical_po: Optional[str] = None
+    critical_delay: float = 0.0
+
+    def slack(self, deadline: float) -> float:
+        return deadline - self.critical_delay
+
+
+def required_times(
+    mapped: MappedNetwork,
+    report: TimingReport,
+    deadline: Optional[float] = None,
+) -> Dict[str, float]:
+    """Backward pass: latest allowed arrival per node output.
+
+    The required time of a PO is the deadline (default: the critical
+    delay, making the critical path zero-slack); an internal node's
+    required time is the minimum over its fanouts of their required time
+    minus the fanout stage's worst gate delay under the analysed load.
+    """
+    if deadline is None:
+        deadline = report.critical_delay
+    required: Dict[str, float] = {}
+    for node in reversed(mapped.topological_order()):
+        if node.is_po:
+            required[node.name] = deadline
+            continue
+        candidates = []
+        for sink in node.fanouts:
+            sink_required = required.get(sink.name)
+            if sink_required is None:
+                continue
+            if sink.is_po:
+                candidates.append(sink_required)
+                continue
+            load = report.loads.get(sink.name, 0.0)
+            for pin_index, fanin in enumerate(sink.fanins):
+                if fanin is not node:
+                    continue
+                timing = sink.cell.pins[pin_index].timing
+                stage = max(
+                    timing.rise_block + timing.rise_resistance * load,
+                    timing.fall_block + timing.fall_resistance * load,
+                )
+                candidates.append(sink_required - stage)
+        required[node.name] = min(candidates) if candidates else deadline
+    return required
+
+
+def slacks(
+    mapped: MappedNetwork,
+    report: TimingReport,
+    deadline: Optional[float] = None,
+) -> Dict[str, float]:
+    """Per-node slack = required time - arrival time."""
+    required = required_times(mapped, report, deadline)
+    return {
+        name: required[name] - report.arrivals[name].worst
+        for name in required
+        if name in report.arrivals
+    }
+
+
+def _node_load(
+    node: MappedNode,
+    wire_model: Optional[WireCapModel],
+    pad_cap: float,
+    wire_cap_per_fanout: float,
+) -> float:
+    """Output load of a node: fanout pin caps + wire capacitance."""
+    load = 0.0
+    for sink in node.fanouts:
+        if sink.is_po:
+            load += pad_cap
+        elif sink.is_gate:
+            for pin_index, fanin in enumerate(sink.fanins):
+                if fanin is node:
+                    load += sink.cell.pins[pin_index].input_cap
+    if wire_model is not None:
+        positions: List[Point] = []
+        if node.position is not None:
+            positions.append(node.position)
+        for sink in node.fanouts:
+            if sink.position is not None:
+                positions.append(sink.position)
+        load += net_wire_capacitance(positions, wire_model)
+    else:
+        load += wire_cap_per_fanout * len(node.fanouts)
+    return load
+
+
+def analyze(
+    mapped: MappedNetwork,
+    wire_model: Optional[WireCapModel] = None,
+    input_arrivals: Optional[Dict[str, float]] = None,
+    pad_cap: float = 0.25,
+    wire_cap_per_fanout: float = 0.0,
+) -> TimingReport:
+    """Propagate rise/fall arrival times from PIs to POs.
+
+    Args:
+        mapped: the (ideally placed) mapped netlist.
+        wire_model: per-unit-length wire capacitance; ``None`` disables the
+            positional wire term and uses ``wire_cap_per_fanout`` instead.
+        input_arrivals: PI name -> arrival time (default 0).
+        pad_cap: load presented by an output pad.
+        wire_cap_per_fanout: fallback lumped wire cap per fanout.
+
+    Returns:
+        A :class:`TimingReport`; node ``arrival`` attributes are updated
+        with the worst-case values as a side effect.
+    """
+    input_arrivals = input_arrivals or {}
+    report = TimingReport()
+    for node in mapped.topological_order():
+        if node.is_pi:
+            t = input_arrivals.get(node.name, 0.0)
+            report.arrivals[node.name] = ArrivalTimes.at(t)
+        elif node.is_constant:
+            report.arrivals[node.name] = ArrivalTimes.at(0.0)
+        elif node.is_po:
+            report.arrivals[node.name] = report.arrivals[node.fanins[0].name]
+        else:
+            load = _node_load(node, wire_model, pad_cap, wire_cap_per_fanout)
+            report.loads[node.name] = load
+            rise = 0.0
+            fall = 0.0
+            for pin_index, fanin in enumerate(node.fanins):
+                timing = node.cell.pins[pin_index].timing
+                t_in = report.arrivals[fanin.name]
+                # Inverting-style worst case: the output rise is driven by
+                # the input fall and vice versa; using the conservative
+                # max(rise, fall) of the input keeps the model simple and
+                # monotone, as MIS 2.1 does for UNKNOWN-phase pins.
+                t = t_in.worst
+                rise = max(rise, t + timing.rise_block
+                           + timing.rise_resistance * load)
+                fall = max(fall, t + timing.fall_block
+                           + timing.fall_resistance * load)
+            report.arrivals[node.name] = ArrivalTimes(rise, fall)
+        node.arrival = report.arrivals[node.name].worst
+
+    for po in mapped.primary_outputs:
+        t = report.arrivals[po.name].worst
+        if t >= report.critical_delay:
+            report.critical_delay = t
+            report.critical_po = po.name
+    return report
+
+
+def critical_path(
+    mapped: MappedNetwork, report: TimingReport
+) -> List[MappedNode]:
+    """Trace the worst path backwards from the critical output."""
+    if report.critical_po is None:
+        return []
+    path: List[MappedNode] = []
+    node = mapped[report.critical_po]
+    while node is not None:
+        path.append(node)
+        if node.is_pi or node.is_constant or not node.fanins:
+            break
+        node = max(
+            node.fanins,
+            key=lambda f: report.arrivals[f.name].worst,
+        )
+    path.reverse()
+    return path

@@ -1,0 +1,53 @@
+"""Chip-area prediction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.area.estimate import (
+    ChipEstimate,
+    estimate_chip,
+    mapped_image,
+    subject_image,
+)
+
+
+class TestImages:
+    def test_subject_image_square(self):
+        image = subject_image(100)
+        assert image.width == pytest.approx(image.height)
+        assert image.area == pytest.approx(100 * 800.0 * 2.1)
+
+    def test_subject_image_monotone(self):
+        assert subject_image(200).area > subject_image(100).area
+
+    def test_subject_image_minimum(self):
+        assert subject_image(0).area > 0
+
+    def test_mapped_image_scales_with_area(self):
+        small = mapped_image(1e5)
+        large = mapped_image(4e5)
+        assert large.width == pytest.approx(2 * small.width)
+
+    def test_utilization(self):
+        dense = subject_image(100, utilization=1.0)
+        sparse = subject_image(100, utilization=0.5)
+        assert sparse.area == pytest.approx(2 * dense.area)
+
+
+class TestChipEstimate:
+    def test_pad_ring_included(self):
+        chip = estimate_chip(1000.0, 500.0, cell_area=3e5)
+        assert chip.chip_width == pytest.approx(1000 + 80)
+        assert chip.chip_height == pytest.approx(500 + 80)
+        assert chip.chip_area == pytest.approx(1080 * 580)
+
+    def test_routing_area(self):
+        chip = estimate_chip(1000.0, 1000.0, cell_area=4e5)
+        assert chip.routing_area == pytest.approx(1e6 - 4e5)
+
+    def test_routing_area_never_negative(self):
+        chip = estimate_chip(100.0, 100.0, cell_area=1e9)
+        assert chip.routing_area == 0.0

@@ -1,0 +1,99 @@
+"""Arithmetic circuit generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.arith import (
+    decoder,
+    equality_comparator,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.network.simulate import simulate
+
+
+def adder_inputs(a, b, cin, width):
+    env = {"cin": cin}
+    for i in range(width):
+        env[f"a{i}"] = bool((a >> i) & 1)
+        env[f"b{i}"] = bool((b >> i) & 1)
+    return env
+
+
+class TestAdder:
+    @given(st.integers(0, 15), st.integers(0, 15), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_addition(self, a, b, cin):
+        width = 4
+        net = ripple_carry_adder(width)
+        out = simulate(net, adder_inputs(a, b, cin, width))
+        total = a + b + int(cin)
+        for i in range(width):
+            assert out[f"s{i}"] == bool((total >> i) & 1)
+        assert out["cout"] == bool((total >> width) & 1)
+
+    def test_stats(self):
+        net = ripple_carry_adder(8)
+        s = net.stats()
+        assert s["inputs"] == 17
+        assert s["outputs"] == 9
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestParity:
+    @given(st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_parity(self, bits):
+        net = parity_tree(8)
+        env = {f"x{i}": bool((bits >> i) & 1) for i in range(8)}
+        assert simulate(net, env)["parity"] == (bin(bits).count("1") % 2 == 1)
+
+    def test_odd_width(self):
+        net = parity_tree(5)
+        env = {f"x{i}": i == 2 for i in range(5)}
+        assert simulate(net, env)["parity"] is True
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parity_tree(1)
+
+
+class TestComparator:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_equality(self, a, b):
+        net = equality_comparator(4)
+        env = {}
+        for i in range(4):
+            env[f"a{i}"] = bool((a >> i) & 1)
+            env[f"b{i}"] = bool((b >> i) & 1)
+        assert simulate(net, env)["equal"] == (a == b)
+
+
+class TestDecoder:
+    @given(st.integers(0, 7))
+    @settings(max_examples=16, deadline=None)
+    def test_one_hot(self, value):
+        net = decoder(3)
+        env = {f"s{i}": bool((value >> i) & 1) for i in range(3)}
+        out = simulate(net, env)
+        for line in range(8):
+            assert out[f"o{line}"] == (line == value)
+
+
+class TestMux:
+    @given(st.integers(0, 255), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_selects(self, data, _pad):
+        net = mux_tree(3)
+        for sel in range(8):
+            env = {f"d{i}": bool((data >> i) & 1) for i in range(8)}
+            env.update({f"s{i}": bool((sel >> i) & 1) for i in range(3)})
+            assert simulate(net, env)["out"] == bool((data >> sel) & 1)

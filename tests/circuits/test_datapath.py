@@ -1,0 +1,97 @@
+"""Datapath circuit generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.arith import ripple_carry_adder
+from repro.circuits.datapath import alu, array_multiplier, carry_lookahead_adder
+from repro.network.simulate import networks_equivalent, simulate
+
+
+class TestCarryLookahead:
+    def test_equivalent_to_ripple(self):
+        assert networks_equivalent(
+            carry_lookahead_adder(4), ripple_carry_adder(4)
+        )
+
+    @given(st.integers(0, 31), st.integers(0, 31), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_addition(self, a, b, cin):
+        width = 5
+        net = carry_lookahead_adder(width)
+        env = {"cin": cin}
+        for i in range(width):
+            env[f"a{i}"] = bool((a >> i) & 1)
+            env[f"b{i}"] = bool((b >> i) & 1)
+        out = simulate(net, env)
+        total = a + b + int(cin)
+        value = sum(
+            (1 << i) for i in range(width) if out[f"s{i}"]
+        ) + ((1 << width) if out["cout"] else 0)
+        assert value == total
+
+    def test_reconvergence(self):
+        """g/p signals fan out into multiple carries (multi-fanout stems)."""
+        net = carry_lookahead_adder(4)
+        multi = [n for n in net.internal_nodes if n.num_fanouts > 1]
+        assert multi
+
+
+class TestMultiplier:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_product(self, a, b):
+        width = 4
+        net = array_multiplier(width)
+        env = {}
+        for i in range(width):
+            env[f"a{i}"] = bool((a >> i) & 1)
+            env[f"b{i}"] = bool((b >> i) & 1)
+        out = simulate(net, env)
+        value = sum((1 << k) for k in range(2 * width) if out[f"m{k}"])
+        assert value == a * b
+
+    def test_width_one(self):
+        net = array_multiplier(1)
+        out = simulate(net, {"a0": True, "b0": True})
+        assert out["m0"] is True
+
+
+class TestAlu:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_operations(self, a, b, op):
+        width = 4
+        net = alu(width)
+        env = {"op0": bool(op & 1), "op1": bool(op >> 1)}
+        for i in range(width):
+            env[f"a{i}"] = bool((a >> i) & 1)
+            env[f"b{i}"] = bool((b >> i) & 1)
+        out = simulate(net, env)
+        value = sum((1 << i) for i in range(width) if out[f"y{i}"])
+        expected = [
+            (a + b) & (2 ** width - 1),
+            a & b,
+            a | b,
+            a ^ b,
+        ][op]
+        assert value == expected
+        if op == 0:
+            assert out["cout"] == (a + b >= (1 << width))
+
+
+class TestMappability:
+    @pytest.mark.parametrize(
+        "factory", [lambda: carry_lookahead_adder(3),
+                    lambda: array_multiplier(3), lambda: alu(3)]
+    )
+    def test_maps_and_verifies(self, big_lib, factory):
+        from repro.core.lily import LilyAreaMapper
+        from repro.network.decompose import decompose_to_subject
+
+        net = factory()
+        result = LilyAreaMapper(big_lib).map(decompose_to_subject(net))
+        assert networks_equivalent(net, result.mapped)

@@ -1,0 +1,61 @@
+"""Synthetic random-logic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random_logic import random_network
+
+
+class TestRandomNetwork:
+    def test_deterministic(self):
+        a = random_network("x", 8, 4, 20, seed=5)
+        b = random_network("x", 8, 4, 20, seed=5)
+        assert a.stats() == b.stats()
+        assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+
+    def test_seed_changes_circuit(self):
+        a = random_network("x", 8, 4, 20, seed=5)
+        b = random_network("x", 8, 4, 20, seed=6)
+        assert a.stats() != b.stats() or [
+            n.function.cubes[0].mask if n.is_internal and n.function.cubes
+            else None for n in a.nodes
+        ] != [
+            n.function.cubes[0].mask if n.is_internal and n.function.cubes
+            else None for n in b.nodes
+        ]
+
+    def test_io_profile(self):
+        net = random_network("p", 13, 7, 30, seed=0)
+        assert len(net.primary_inputs) == 13
+        assert len(net.primary_outputs) == 7
+
+    def test_all_inputs_used(self):
+        net = random_network("u", 20, 4, 25, seed=1)
+        for pi in net.primary_inputs:
+            assert pi.fanouts, f"{pi.name} unused"
+
+    def test_structural_validity(self):
+        for seed in range(5):
+            net = random_network("v", 9, 5, 22, seed=seed)
+            net.check()
+
+    def test_max_fanin_respected(self):
+        net = random_network("f", 10, 4, 30, seed=2, max_fanin=3)
+        assert all(n.num_fanins <= 3 for n in net.internal_nodes)
+
+    def test_distinct_po_drivers_when_possible(self):
+        net = random_network("d", 8, 4, 20, seed=3)
+        drivers = [po.fanins[0].name for po in net.primary_outputs]
+        assert len(set(drivers)) == len(drivers)
+
+    def test_output_floor(self):
+        with pytest.raises(ValueError):
+            random_network("e", 4, 10, 5, seed=0)
+
+    def test_functions_nontrivial(self):
+        net = random_network("n", 8, 3, 15, seed=4)
+        for node in net.internal_nodes:
+            tt = node.truth_table()
+            assert tt.is_constant() is None
+            assert len(tt.support()) == node.num_fanins

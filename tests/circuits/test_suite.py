@@ -1,0 +1,67 @@
+"""The named benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import (
+    SUITE,
+    TABLE1_CIRCUITS,
+    TABLE2_CIRCUITS,
+    build_circuit,
+)
+from repro.network.decompose import decompose_to_subject
+
+
+class TestSuiteCatalog:
+    def test_table_rows_exist(self):
+        for name in TABLE1_CIRCUITS + TABLE2_CIRCUITS:
+            assert name in SUITE
+
+    def test_table2_subset_of_table1(self):
+        assert set(TABLE2_CIRCUITS) <= set(TABLE1_CIRCUITS)
+
+    def test_row_counts_match_paper(self):
+        assert len(TABLE1_CIRCUITS) == 15
+        assert len(TABLE2_CIRCUITS) == 12
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            build_circuit("c17_from_the_future")
+
+
+class TestBuild:
+    def test_9symml_profile(self):
+        net = build_circuit("9symml")
+        assert len(net.primary_inputs) == 9
+        assert len(net.primary_outputs) == 1
+
+    @pytest.mark.parametrize("name", ["misex1", "C432", "b9", "e64"])
+    def test_io_profiles(self, name):
+        spec = SUITE[name]
+        net = build_circuit(name)
+        assert len(net.primary_inputs) == spec.inputs
+        assert len(net.primary_outputs) == spec.outputs
+        net.check()
+
+    @pytest.mark.parametrize("name", ["misex1", "C432"])
+    def test_decomposable(self, name):
+        net = build_circuit(name)
+        subject = decompose_to_subject(net)
+        assert subject.stats()["gates"] > 0
+
+    def test_scaling_shrinks(self):
+        full = build_circuit("C3540")
+        half = build_circuit("C3540", scale=0.5)
+        assert len(half.internal_nodes) < len(full.internal_nodes)
+
+    def test_scaling_shrinks_io_only_for_big(self):
+        full = build_circuit("misex1", scale=0.5)
+        assert len(full.primary_inputs) == SUITE["misex1"].inputs
+        big = build_circuit("C5315", scale=0.25)
+        assert len(big.primary_inputs) < SUITE["C5315"].inputs
+
+    def test_deterministic(self):
+        a = build_circuit("duke2")
+        b = build_circuit("duke2")
+        assert a.stats() == b.stats()

@@ -1,0 +1,45 @@
+"""Symmetric-function circuits, including the exact 9symml."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.symmetric import nine_symml, symmetric_function
+from repro.network.logic import TruthTable
+from repro.network.simulate import evaluate_words
+
+
+def exhaustive_check(net, n, predicate):
+    pi_words = {f"x{i}": TruthTable.variable(i, n).bits for i in range(n)}
+    po = net.primary_outputs[0].name
+    word = evaluate_words(net, pi_words, 1 << n)[po]
+    for m in range(1 << n):
+        expected = predicate(bin(m).count("1"))
+        assert ((word >> m) & 1 == 1) == expected, f"minterm {m}"
+
+
+class TestSymmetric:
+    def test_nine_symml_exact(self):
+        exhaustive_check(nine_symml(), 9, lambda k: 3 <= k <= 6)
+
+    def test_majority5(self):
+        net = symmetric_function(5, range(3, 6))
+        exhaustive_check(net, 5, lambda k: k >= 3)
+
+    def test_exactly_two_of_six(self):
+        net = symmetric_function(6, [2])
+        exhaustive_check(net, 6, lambda k: k == 2)
+
+    def test_all_counts_is_constant_like(self):
+        net = symmetric_function(3, [0, 1, 2, 3])
+        exhaustive_check(net, 3, lambda k: True)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_function(4, [7])
+
+    def test_multilevel_structure(self):
+        """The circuit is a counting network, not a flat PLA."""
+        net = nine_symml()
+        assert net.depth() >= 3
+        assert net.stats()["nodes"] >= 10

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.standard import big_library, tiny_library
+from repro.network.blif import parse_blif
+
+#: A small multi-level circuit reused across mapper tests: two outputs,
+#: shared logic (a stem), mixed polarities.
+SMALL_BLIF = """
+.model small
+.inputs a b c d e
+.outputs f g
+.names a b t1
+11 1
+.names t1 c t2
+10 1
+01 1
+.names t2 d f
+11 1
+.names a c x
+00 1
+.names x e g
+11 1
+.end
+"""
+
+
+@pytest.fixture(scope="session")
+def big_lib():
+    return big_library()
+
+
+@pytest.fixture(scope="session")
+def tiny_lib():
+    return tiny_library()
+
+
+@pytest.fixture()
+def small_network():
+    return parse_blif(SMALL_BLIF)

@@ -1,0 +1,47 @@
+"""Command-line entry points."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.flow.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "misex1", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "geomean" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "misex1", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "delay" in out
+
+    def test_scale_flag(self, capsys):
+        assert main(["table1", "b9", "--scale", "0.5", "--no-verify"]) == 0
+        assert "b9" in capsys.readouterr().out
+
+    def test_report_requires_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--no-verify"])
+
+    def test_report_with_svg(self, capsys, tmp_path):
+        svg = str(tmp_path / "out.svg")
+        assert main(
+            ["report", "misex1", "--no-verify", "--svg", svg]
+        ) == 0
+        assert os.path.exists(svg)
+        with open(svg) as f:
+            assert f.read().startswith("<svg")
+
+    def test_report_timing_mode(self, capsys):
+        assert main(
+            ["report", "misex1", "--no-verify", "--mode", "timing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delay ns" in out

@@ -1,0 +1,119 @@
+"""End-to-end pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.lily import LilyOptions
+from repro.flow.pipeline import lily_flow, mis_flow, pads_from_order
+from repro.geometry import Rect
+from repro.library.standard import big_library
+
+
+@pytest.fixture(scope="module")
+def misex1():
+    return build_circuit("misex1")
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return big_library()
+
+
+@pytest.fixture(scope="module")
+def mis_area(misex1, lib):
+    return mis_flow(misex1, lib, mode="area")
+
+
+@pytest.fixture(scope="module")
+def lily_area(misex1, lib):
+    return lily_flow(misex1, lib, mode="area")
+
+
+class TestMisFlow:
+    def test_verified_equivalent(self, mis_area):
+        assert mis_area.equivalent
+
+    def test_metrics_positive(self, mis_area):
+        assert mis_area.instance_area_mm2 > 0
+        assert mis_area.chip_area_mm2 > mis_area.instance_area_mm2
+        assert mis_area.wire_length_mm > 0
+        assert mis_area.num_gates > 0
+
+    def test_gates_placed(self, mis_area):
+        for gate in mis_area.mapped.gates:
+            assert gate.position is not None
+
+    def test_timing_mode(self, misex1, lib):
+        result = mis_flow(misex1, lib, mode="timing")
+        assert result.equivalent
+        assert result.delay > 0
+
+    def test_unknown_mode(self, misex1, lib):
+        with pytest.raises(ValueError):
+            mis_flow(misex1, lib, mode="vibes")
+
+
+class TestLilyFlow:
+    def test_verified_equivalent(self, lily_area):
+        assert lily_area.equivalent
+
+    def test_metrics_positive(self, lily_area):
+        assert lily_area.instance_area_mm2 > 0
+        assert lily_area.chip_area_mm2 > 0
+        assert lily_area.wire_length_mm > 0
+
+    def test_timing_mode(self, misex1, lib):
+        result = lily_flow(misex1, lib, mode="timing")
+        assert result.equivalent
+        assert result.delay > 0
+
+    def test_options_forwarded(self, misex1, lib):
+        result = lily_flow(
+            misex1, lib, mode="area",
+            options=LilyOptions(position_update="cm_of_merged"),
+        )
+        assert result.equivalent
+
+    def test_seeded_backend(self, misex1, lib):
+        result = lily_flow(
+            misex1, lib, mode="area", seed_backend_from_mapper=True
+        )
+        assert result.equivalent
+        assert result.chip_area_mm2 > 0
+
+    def test_mapper_label(self, lily_area, mis_area):
+        assert lily_area.mapper == "lily"
+        assert mis_area.mapper == "mis"
+
+
+class TestSharedBackend:
+    def test_pads_from_order(self):
+        pads = pads_from_order(["x", "y", "z"], Rect(0, 0, 10, 10))
+        assert set(pads) == {"x", "y", "z"}
+
+    def test_both_flows_share_pad_order(self, mis_area, lily_area):
+        """Fairness: the circular pad order is identical in both flows
+        (positions differ only by image scaling)."""
+        def ring_order(backend):
+            pads = backend.pad_positions
+            region_cx = sum(p.x for p in pads.values()) / len(pads)
+            region_cy = sum(p.y for p in pads.values()) / len(pads)
+            import math
+
+            return [
+                name for name, _ in sorted(
+                    pads.items(),
+                    key=lambda kv: math.atan2(
+                        kv[1].y - region_cy, kv[1].x - region_cx
+                    ),
+                )
+            ]
+
+        mis_ring = ring_order(mis_area.backend)
+        lily_ring = ring_order(lily_area.backend)
+        # Same cyclic sequence: rotate to align first element.
+        k = lily_ring.index(mis_ring[0])
+        rotated = lily_ring[k:] + lily_ring[:k]
+        assert rotated == mis_ring

@@ -1,0 +1,60 @@
+"""Flow reports and extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.flow.pipeline import lily_flow, mis_flow
+from repro.flow.report import circuit_report, comparison_report
+from repro.library.standard import big_library
+
+
+@pytest.fixture(scope="module")
+def flows():
+    net = build_circuit("misex1")
+    lib = big_library()
+    return (
+        mis_flow(net, lib, verify=False),
+        lily_flow(net, lib, verify=False),
+    )
+
+
+class TestReports:
+    def test_circuit_report_sections(self, flows):
+        _mis, lily = flows
+        text = circuit_report(lily)
+        for token in ["cell histogram", "area:", "routing:", "timing:",
+                      "critical path", "chip (with pads)"]:
+            assert token in text
+
+    def test_comparison_report(self, flows):
+        mis, lily = flows
+        text = comparison_report(mis, lily)
+        assert "MIS2.1" in text
+        assert "ratio" in text
+        assert "chip mm^2" in text
+
+    def test_timing_mode_row(self):
+        net = build_circuit("misex1")
+        lib = big_library()
+        mis = mis_flow(net, lib, mode="timing", verify=False)
+        lily = lily_flow(net, lib, mode="timing", verify=False)
+        assert "delay ns" in comparison_report(mis, lily)
+
+
+class TestLayoutDrivenDecomposition:
+    def test_flow_flag(self):
+        net = build_circuit("misex1")
+        result = lily_flow(
+            net, big_library(), verify=True,
+            layout_driven_decomposition=True,
+        )
+        assert result.equivalent
+
+    def test_cli_report(self, capsys):
+        from repro.flow.__main__ import main
+
+        assert main(["report", "misex1", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out

@@ -1,0 +1,76 @@
+"""Table drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.tables import (
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    geometric_mean_ratios,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1(["misex1", "b9"], verify=True)
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2(["misex1"], verify=True)
+
+
+class TestTable1:
+    def test_rows(self, table1_rows):
+        assert [r.circuit for r in table1_rows] == ["misex1", "b9"]
+        for r in table1_rows:
+            assert r.mis_ok and r.lily_ok
+            assert r.mis_inst > 0 and r.lily_inst > 0
+            assert r.mis_chip > r.mis_inst
+            assert r.mis_wire > 0 and r.lily_wire > 0
+
+    def test_ratios(self, table1_rows):
+        r = table1_rows[0]
+        assert r.chip_ratio == pytest.approx(r.lily_chip / r.mis_chip)
+        assert r.wire_ratio == pytest.approx(r.lily_wire / r.mis_wire)
+        assert r.inst_ratio == pytest.approx(r.lily_inst / r.mis_inst)
+
+    def test_format(self, table1_rows):
+        text = format_table1(table1_rows)
+        assert "misex1" in text
+        assert "geomean" in text
+        assert "MIS2.1" in text
+
+
+class TestTable2:
+    def test_rows(self, table2_rows):
+        r = table2_rows[0]
+        assert r.circuit == "misex1"
+        assert r.mis_ok and r.lily_ok
+        assert r.mis_delay > 0 and r.lily_delay > 0
+        assert r.delay_ratio == pytest.approx(r.lily_delay / r.mis_delay)
+
+    def test_format(self, table2_rows):
+        text = format_table2(table2_rows)
+        assert "misex1" in text
+        assert "delay" in text
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean_ratios([1.0, 1.0]) == pytest.approx(1.0)
+        assert geometric_mean_ratios([2.0, 0.5]) == pytest.approx(1.0)
+        assert geometric_mean_ratios([]) == 1.0
+
+    def test_cli_smoke(self, capsys):
+        from repro.flow.__main__ import main
+
+        code = main(["table1", "misex1", "--no-verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "misex1" in out

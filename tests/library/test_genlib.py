@@ -1,0 +1,71 @@
+"""genlib parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.genlib import GenlibError, parse_genlib, write_genlib
+
+MINI = """
+# comment line
+GATE inv1 928 O=!a;   PIN a INV 0.25 999 0.9 0.5 0.8 0.35
+GATE nand2 1392 O=!(a*b);
+  PIN * INV 0.25 999 1.2 0.6 1.0 0.45
+GATE aoi21 1856 O=!(a*b+c);
+  PIN a INV 0.25 999 1.6 0.75 1.4 0.6
+  PIN b INV 0.25 999 1.6 0.75 1.4 0.6
+  PIN c INV 0.30 999 1.3 0.70 1.2 0.55
+"""
+
+
+class TestParse:
+    def test_cells(self):
+        lib = parse_genlib(MINI, name="mini")
+        assert len(lib) == 3
+        assert lib["inv1"].area == 928
+        assert lib["nand2"].is_nand2
+
+    def test_wildcard_pin(self):
+        lib = parse_genlib(MINI)
+        nand2 = lib["nand2"]
+        assert nand2.pins[0].input_cap == nand2.pins[1].input_cap == 0.25
+
+    def test_named_pins(self):
+        lib = parse_genlib(MINI)
+        aoi = lib["aoi21"]
+        assert aoi.pin("c").input_cap == pytest.approx(0.30)
+        assert aoi.pin("a").timing.rise_block == pytest.approx(1.6)
+        assert aoi.pin("c").timing.rise_block == pytest.approx(1.3)
+
+    def test_pin_order_follows_expression(self):
+        lib = parse_genlib(MINI)
+        assert lib["aoi21"].pin_names == ["a", "b", "c"]
+
+    def test_latch_rejected(self):
+        with pytest.raises(GenlibError):
+            parse_genlib("LATCH d 1 Q=d;\n" + MINI)
+
+    def test_no_gates(self):
+        with pytest.raises(GenlibError):
+            parse_genlib("# nothing here\n")
+
+    def test_missing_pin_record(self):
+        with pytest.raises(GenlibError):
+            parse_genlib("GATE g 1 O=a*b; PIN a INV 0.2 99 1 1 1 1\n"
+                         "GATE inv 1 O=!a; PIN * INV 0.2 99 1 1 1 1\n"
+                         "GATE nand2 1 O=!(a*b); PIN * INV 0.2 99 1 1 1 1\n")
+
+
+class TestRoundTrip:
+    def test_write_and_reparse(self):
+        lib = parse_genlib(MINI, name="mini")
+        text = write_genlib(lib)
+        back = parse_genlib(text, name="mini2")
+        assert len(back) == len(lib)
+        for cell in lib:
+            other = back[cell.name]
+            assert other.area == cell.area
+            assert other.truth_table == cell.truth_table
+            for p, q in zip(cell.pins, other.pins):
+                assert p.input_cap == q.input_cap
+                assert p.timing == q.timing

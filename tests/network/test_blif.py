@@ -1,0 +1,169 @@
+"""BLIF reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.blif import BlifError, parse_blif, write_blif
+from repro.network.simulate import networks_equivalent
+
+
+class TestParsing:
+    def test_minimal(self):
+        net = parse_blif(""".model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+""")
+        assert net.name == "m"
+        assert [pi.name for pi in net.primary_inputs] == ["a", "b"]
+        assert net["f"].function.num_cubes == 1
+
+    def test_comments_and_continuation(self):
+        net = parse_blif(""".model m  # a comment
+.inputs a \\
+b
+.outputs f
+.names a b f   # and another
+11 1
+.end
+""")
+        assert len(net.primary_inputs) == 2
+
+    def test_unordered_blocks(self):
+        net = parse_blif(""".model m
+.inputs a b
+.outputs f
+.names t b f
+11 1
+.names a b t
+01 1
+.end
+""")
+        assert net["f"].fanins[0].name == "t"
+
+    def test_offset_cover(self):
+        """Rows with output 0 define the off-set."""
+        on = parse_blif(""".model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+""")
+        off = parse_blif(""".model m
+.inputs a b
+.outputs f
+.names a b f
+0- 0
+-0 0
+.end
+""")
+        assert networks_equivalent(on, off)
+
+    def test_constant_node(self):
+        net = parse_blif(""".model m
+.inputs a
+.outputs f
+.names one
+1
+.names a one f
+11 1
+.end
+""")
+        assert net["one"].is_constant
+        assert net["one"].function.evaluate([])
+
+    def test_constant_zero_node(self):
+        net = parse_blif(""".model m
+.inputs a
+.outputs f
+.names zero
+.names a zero f
+1- 1
+.end
+""")
+        assert net["zero"].is_constant
+        assert not net["zero"].function.evaluate([])
+
+
+class TestParsingErrors:
+    def test_undriven_output(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs f\n.end\n")
+
+    def test_undefined_signal(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n"
+            )
+
+    def test_cyclic(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n"
+                ".names a g f\n11 1\n.names a f g\n11 1\n.end\n"
+            )
+
+    def test_mixed_polarity_rows(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+            )
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n"
+            )
+
+    def test_latch_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.latch a b\n.end\n")
+
+    def test_input_redefined(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n"
+            )
+
+
+class TestRoundTrip:
+    CASES = [
+        """.model rt1
+.inputs a b c
+.outputs f g
+.names a b t
+10 1
+01 1
+.names t c f
+11 1
+.names a c g
+00 1
+--  # not a row
+.end
+""".replace("--  # not a row\n", ""),
+        """.model rt2
+.inputs a
+.outputs f
+.names a f
+0 1
+.end
+""",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip_preserves_function(self, text):
+        net = parse_blif(text)
+        back = parse_blif(write_blif(net))
+        assert networks_equivalent(net, back)
+
+    def test_roundtrip_small(self, small_network):
+        back = parse_blif(write_blif(small_network))
+        assert networks_equivalent(small_network, back)
+
+    def test_output_port_named_after_driver(self, small_network):
+        text = write_blif(small_network)
+        assert ".outputs f g" in text

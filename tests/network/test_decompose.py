@@ -1,0 +1,171 @@
+"""Technology decomposition into the NAND2/INV subject graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.random_logic import random_network
+from repro.geometry import Point
+from repro.network.blif import parse_blif
+from repro.network.decompose import (
+    balanced_pairer,
+    decompose_to_subject,
+    proximity_pairer,
+)
+from repro.network.simulate import networks_equivalent
+from repro.network.subject import SubjectNodeType
+
+
+class TestFunctionPreservation:
+    def test_small(self, small_network):
+        subject = decompose_to_subject(small_network)
+        assert networks_equivalent(small_network, subject)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_networks(self, seed):
+        net = random_network("rnd", 6, 3, 12, seed=seed)
+        subject = decompose_to_subject(net)
+        assert networks_equivalent(net, subject)
+
+    def test_wide_cube(self):
+        net = parse_blif(""".model wide
+.inputs a b c d e f
+.outputs o
+.names a b c d e f o
+111111 1
+.end
+""")
+        subject = decompose_to_subject(net)
+        assert networks_equivalent(net, subject)
+
+    def test_constant_nodes(self):
+        net = parse_blif(""".model c
+.inputs a
+.outputs f
+.names one
+1
+.names a one f
+11 1
+.end
+""")
+        subject = decompose_to_subject(net)
+        assert networks_equivalent(net, subject)
+
+    def test_buffer_chain(self):
+        net = parse_blif(""".model b
+.inputs a
+.outputs f
+.names a t
+1 1
+.names t f
+1 1
+.end
+""")
+        subject = decompose_to_subject(net)
+        assert networks_equivalent(net, subject)
+
+    def test_po_driven_by_pi(self):
+        net = parse_blif(""".model w
+.inputs a b
+.outputs f g
+.names a b f
+11 1
+.end
+""".replace(".outputs f g", ".outputs f"))
+        subject = decompose_to_subject(net)
+        assert networks_equivalent(net, subject)
+
+
+class TestStructure:
+    def test_only_base_functions(self, small_network):
+        subject = decompose_to_subject(small_network)
+        for node in subject.nodes:
+            assert node.type in (
+                SubjectNodeType.PRIMARY_INPUT,
+                SubjectNodeType.PRIMARY_OUTPUT,
+                SubjectNodeType.NAND2,
+                SubjectNodeType.INV,
+                SubjectNodeType.CONST0,
+                SubjectNodeType.CONST1,
+            )
+
+    def test_sharing_creates_stems(self):
+        """a*b feeding two nodes is decomposed once (structural hashing)."""
+        net = parse_blif(""".model s
+.inputs a b c d
+.outputs f g
+.names a b c f
+111 1
+.names a b d g
+111 1
+.end
+""")
+        subject = decompose_to_subject(net)
+        stems = [n for n in subject.nodes if n.is_gate and n.is_stem]
+        assert stems, "shared a*b sub-term should be a multi-fanout stem"
+
+    def test_source_annotation(self, small_network):
+        subject = decompose_to_subject(small_network)
+        sources = {n.source for n in subject.nodes if n.source}
+        assert "t1" in sources or "t2" in sources
+
+    def test_balanced_depth(self):
+        """Balanced pairing keeps an 8-input AND tree at depth ~log2."""
+        net = parse_blif(""".model w
+.inputs a b c d e f g h
+.outputs o
+.names a b c d e f g h o
+11111111 1
+.end
+""")
+        subject = decompose_to_subject(net)
+        level = {}
+        depth = 0
+        for node in subject.topological_order():
+            level[node.uid] = (
+                0 if not node.fanins
+                else max(level[f.uid] for f in node.fanins)
+                + (1 if node.is_gate else 0)
+            )
+            depth = max(depth, level[node.uid])
+        # 8-leaf balanced AND tree: 3 NAND levels with interleaved INVs.
+        assert depth <= 6
+
+
+class TestLayoutDrivenPairing:
+    def test_proximity_pairer_groups_near_leaves(self):
+        """With positions, the nearest two fanins share the deepest gate."""
+        net = parse_blif(""".model p
+.inputs a b c d
+.outputs o
+.names a b c d o
+1111 1
+.end
+""")
+        positions = {
+            "a": Point(0, 0),
+            "b": Point(1, 0),
+            "c": Point(100, 100),
+            "d": Point(101, 100),
+        }
+        subject = decompose_to_subject(net, positions=positions)
+        # a and b (near each other) must meet before meeting c or d:
+        a = subject["a"]
+        b = subject["b"]
+        shared = {g.uid for g in a.fanouts} & {g.uid for g in b.fanouts}
+        assert shared, "nearest leaves a,b should feed a common NAND"
+        assert networks_equivalent(net, subject)
+
+    def test_pairer_choice(self):
+        clusters = [(None, Point(0, 0)), (None, Point(10, 10)),
+                    (None, Point(0.5, 0))]
+        assert proximity_pairer(clusters) == (0, 2)
+        assert balanced_pairer(clusters) == (0, 1)
+
+    def test_missing_positions_fall_back(self):
+        clusters = [(None, None), (None, Point(0, 0)), (None, Point(1, 0))]
+        i, j = proximity_pairer(clusters)
+        assert (i, j) == (1, 2)

@@ -1,0 +1,112 @@
+"""Expression parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.expr import (
+    And,
+    Const,
+    ExprError,
+    Not,
+    Or,
+    Var,
+    Xor,
+    parse_expression,
+)
+from repro.network.logic import TruthTable
+
+
+def tt(text, order=None):
+    return parse_expression(text).to_truth_table(order)
+
+
+class TestParsing:
+    def test_variable(self):
+        assert parse_expression("a") == Var("a")
+
+    def test_constants(self):
+        assert parse_expression("1") == Const(True)
+        assert parse_expression("0") == Const(False)
+
+    def test_prefix_not(self):
+        assert parse_expression("!a") == Not(Var("a"))
+
+    def test_postfix_not(self):
+        assert parse_expression("a'") == Not(Var("a"))
+        assert parse_expression("a''") == Not(Not(Var("a")))
+
+    def test_precedence(self):
+        # a + b*c parses as a + (b*c)
+        e = parse_expression("a+b*c")
+        assert isinstance(e, Or)
+        assert e.children[0] == Var("a")
+        assert isinstance(e.children[1], And)
+
+    def test_xor_precedence(self):
+        # a ^ b * c parses as a ^ (b*c); a + b ^ c as a + (b^c)
+        e = parse_expression("a^b*c")
+        assert isinstance(e, Xor)
+        e2 = parse_expression("a+b^c")
+        assert isinstance(e2, Or)
+
+    def test_parentheses(self):
+        e = parse_expression("(a+b)*c")
+        assert isinstance(e, And)
+
+    def test_alternative_operators(self):
+        assert parse_expression("a&b") == parse_expression("a*b")
+        assert parse_expression("a|b") == parse_expression("a+b")
+
+    def test_nary_flattening(self):
+        e = parse_expression("a*b*c")
+        assert isinstance(e, And)
+        assert len(e.children) == 3
+
+    def test_errors(self):
+        for bad in ["", "a+", "(a", "a b", "*a", "a~b"]:
+            with pytest.raises(ExprError):
+                parse_expression(bad)
+
+    def test_identifier_with_brackets(self):
+        assert parse_expression("x[3]") == Var("x[3]")
+
+
+class TestSemantics:
+    def test_variables_order(self):
+        assert parse_expression("b*a+c").variables() == ["b", "a", "c"]
+
+    def test_and_truth_table(self):
+        assert tt("a*b") == TruthTable(2, 0b1000)
+
+    def test_demorgan(self):
+        assert tt("!(a*b)") == tt("!a+!b")
+
+    def test_xor(self):
+        assert tt("a^b") == tt("a*!b+!a*b")
+
+    def test_nary_xor_is_parity(self):
+        f = tt("a^b^c")
+        expected = TruthTable.from_function(3, lambda bits: sum(bits) % 2 == 1)
+        assert f == expected
+
+    def test_aoi(self):
+        f = tt("!(a*b+c)")
+        assert not f.evaluate([True, True, False])
+        assert not f.evaluate([False, False, True])
+        assert f.evaluate([True, False, False])
+
+    def test_explicit_order(self):
+        f = tt("b", order=["a", "b"])
+        assert f == TruthTable.variable(1, 2)
+
+    def test_order_missing_variable_raises(self):
+        with pytest.raises(ExprError):
+            tt("a*b", order=["a"])
+
+    def test_str_roundtrip(self):
+        for text in ["a*b+c", "!(a+b)", "a^b", "!a*!b"]:
+            e = parse_expression(text)
+            assert parse_expression(str(e)).to_truth_table(
+                e.variables()
+            ) == e.to_truth_table()

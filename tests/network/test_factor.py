@@ -1,0 +1,100 @@
+"""Common-cube extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.random_logic import random_network
+from repro.network.blif import parse_blif
+from repro.network.factor import extract_common_cubes
+from repro.network.simulate import networks_equivalent
+
+SHARED = """.model f
+.inputs a b c d e
+.outputs x y z
+.names a b c x
+111 1
+.names a b d y
+110 1
+.names a b e z
+111 1
+.end
+"""
+
+
+class TestExtraction:
+    def test_shared_cube_extracted(self):
+        net = parse_blif(SHARED)
+        ref = parse_blif(SHARED)
+        stats = extract_common_cubes(net, min_occurrences=3)
+        assert stats.divisors_added == 1
+        assert stats.rewrites == 3
+        assert networks_equivalent(net, ref)
+
+    def test_divisor_is_multi_fanout(self):
+        net = parse_blif(SHARED)
+        extract_common_cubes(net, min_occurrences=3)
+        divisors = [n for n in net.internal_nodes if n.name.startswith("_cx")]
+        assert divisors
+        assert all(d.num_fanouts > 1 for d in divisors)
+
+    def test_literals_reduced(self):
+        net = parse_blif(SHARED)
+        stats = extract_common_cubes(net, min_occurrences=3)
+        assert stats.literals_after < stats.literals_before
+
+    def test_negative_phase_literals(self):
+        text = """.model n
+.inputs a b c d
+.outputs x y z
+.names a b c x
+010 1
+.names a b d y
+011 1
+.names a b c z
+01- 1
+.end
+"""
+        net = parse_blif(text)
+        ref = parse_blif(text)
+        stats = extract_common_cubes(net, min_occurrences=3)
+        assert stats.divisors_added >= 1
+        assert networks_equivalent(net, ref)
+
+    def test_no_pairs_below_threshold(self):
+        text = """.model s
+.inputs a b c
+.outputs x
+.names a b c x
+111 1
+.end
+"""
+        net = parse_blif(text)
+        stats = extract_common_cubes(net, min_occurrences=3)
+        assert stats.divisors_added == 0
+
+    def test_max_divisors_cap(self):
+        net = parse_blif(SHARED)
+        stats = extract_common_cubes(net, min_occurrences=2, max_divisors=0)
+        assert stats.divisors_added == 0
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=12, deadline=None)
+    def test_property_function_preserved(self, seed):
+        net = random_network("fp", 7, 4, 18, seed=seed)
+        ref = random_network("fp", 7, 4, 18, seed=seed)
+        extract_common_cubes(net, min_occurrences=2)
+        assert networks_equivalent(net, ref)
+        net.check()
+
+    def test_factored_network_still_maps(self, big_lib):
+        from repro.map.mis import MisAreaMapper
+        from repro.network.decompose import decompose_to_subject
+
+        net = random_network("fm", 7, 4, 20, seed=3)
+        ref = random_network("fm", 7, 4, 20, seed=3)
+        extract_common_cubes(net, min_occurrences=2)
+        result = MisAreaMapper(big_lib).map(decompose_to_subject(net))
+        assert networks_equivalent(ref, result.mapped)

@@ -1,0 +1,121 @@
+"""Boolean network construction and maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.logic import Cube, SopCover
+from repro.network.network import Network, NodeKind
+
+
+def and2():
+    return SopCover(2, [Cube("11")])
+
+
+class TestConstruction:
+    def test_basic(self):
+        net = Network("t")
+        a = net.add_primary_input("a")
+        b = net.add_primary_input("b")
+        n = net.add_node("n", [a, b], and2())
+        po = net.add_primary_output("f", n)
+        assert len(net) == 4
+        assert n.num_fanins == 2
+        assert a.fanouts == [n]
+        assert po.fanins == [n]
+        net.check()
+
+    def test_duplicate_name(self):
+        net = Network()
+        net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            net.add_primary_input("a")
+
+    def test_cover_width_mismatch(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("n", [a], and2())
+
+    def test_foreign_fanin(self):
+        net1, net2 = Network(), Network()
+        a = net1.add_primary_input("a")
+        b = net2.add_primary_input("b")
+        net2.add_primary_input("c")
+        with pytest.raises(ValueError):
+            net2.add_node("n", [b, a], and2())
+
+    def test_po_cannot_drive(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        po = net.add_primary_output("f", a)
+        with pytest.raises(ValueError):
+            net.add_node("n", [po, a], and2())
+
+    def test_constant(self):
+        net = Network()
+        c = net.add_constant("one", True)
+        assert c.is_constant
+        assert c.truth_table().is_constant() is True
+
+
+class TestTraversal:
+    def _diamond(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        b = net.add_primary_input("b")
+        l = net.add_node("l", [a, b], and2())
+        r = net.add_node("r", [a, b], SopCover(2, [Cube("1-"), Cube("-1")]))
+        top = net.add_node("top", [l, r], and2())
+        net.add_primary_output("f", top)
+        return net
+
+    def test_topological_order(self):
+        net = self._diamond()
+        order = [n.name for n in net.topological_order()]
+        assert order.index("l") < order.index("top")
+        assert order.index("r") < order.index("top")
+        assert order.index("a") < order.index("l")
+
+    def test_transitive_fanin(self):
+        net = self._diamond()
+        cone = {n.name for n in net.transitive_fanin([net["top"]])}
+        assert cone == {"a", "b", "l", "r", "top"}
+
+    def test_depth(self):
+        assert self._diamond().depth() == 2
+
+    def test_stats(self):
+        s = self._diamond().stats()
+        assert s == {"inputs": 2, "outputs": 1, "nodes": 3,
+                     "literals": 6, "depth": 2}
+
+
+class TestMaintenance:
+    def test_sweep_dangling(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        b = net.add_primary_input("b")
+        live = net.add_node("live", [a, b], and2())
+        net.add_node("dead", [a, b], and2())
+        net.add_primary_output("f", live)
+        removed = net.sweep_dangling()
+        assert removed == 1
+        assert "dead" not in net
+        assert a.fanouts == [live]
+        net.check()
+
+    def test_check_detects_missing_function(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        node = net.add_node("n", [a], SopCover(1, [Cube("1")]))
+        node.function = None
+        with pytest.raises(ValueError):
+            net.check()
+
+    def test_lookup(self):
+        net = Network()
+        a = net.add_primary_input("a")
+        assert net["a"] is a
+        assert net.get("missing") is None
+        assert "a" in net

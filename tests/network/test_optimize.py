@@ -1,0 +1,130 @@
+"""Technology-independent clean-up."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.random_logic import random_network
+from repro.network.blif import parse_blif
+from repro.network.optimize import clean_network
+from repro.network.simulate import networks_equivalent
+
+
+def cleaned(text):
+    net = parse_blif(text)
+    reference = parse_blif(text)
+    stats = clean_network(net)
+    assert networks_equivalent(net, reference)
+    return net, stats
+
+
+class TestConstantPropagation:
+    def test_and_with_one(self):
+        net, stats = cleaned(""".model t
+.inputs a
+.outputs f
+.names one
+1
+.names a one f
+11 1
+.end
+""")
+        assert stats.get("constants_propagated", 0) >= 1
+        # f collapses to a wire on 'a'; the PO now reads 'a' directly or a
+        # single surviving node.
+        assert net.stats()["nodes"] <= 1
+
+    def test_and_with_zero_becomes_constant(self):
+        net, stats = cleaned(""".model t
+.inputs a
+.outputs f
+.names zero
+.names a zero f
+11 1
+.end
+""")
+        po_driver = net.primary_outputs[0].fanins[0]
+        assert po_driver.is_constant
+
+
+class TestWireCollapsing:
+    def test_buffer_chain(self):
+        net, stats = cleaned(""".model t
+.inputs a b
+.outputs f
+.names a t1
+1 1
+.names t1 t2
+1 1
+.names t2 b f
+11 1
+.end
+""")
+        assert stats.get("buffers_collapsed", 0) >= 2
+        assert net.stats()["nodes"] == 1
+
+    def test_inverter_pair(self):
+        net, stats = cleaned(""".model t
+.inputs a b
+.outputs f
+.names a n1
+0 1
+.names n1 n2
+0 1
+.names n2 b f
+11 1
+.end
+""")
+        assert stats.get("inverter_pairs_collapsed", 0) >= 1
+        assert net.stats()["nodes"] <= 2
+
+
+class TestDuplicateMerging:
+    def test_identical_nodes_shared(self):
+        net, stats = cleaned(""".model t
+.inputs a b
+.outputs f g
+.names a b t1
+11 1
+.names a b t2
+11 1
+.names t1 t2 f
+11 1
+.names t2 g
+1 1
+.end
+""")
+        assert stats.get("duplicates_merged", 0) >= 1
+
+
+class TestSupportReduction:
+    def test_vacuous_input_dropped(self):
+        net, stats = cleaned(""".model t
+.inputs a b
+.outputs f
+.names a b f
+10 1
+11 1
+.end
+""")
+        # f = a regardless of b.
+        assert stats.get("support_reduced", 0) >= 1
+
+
+class TestFixpointProperty:
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_random_networks_preserved(self, seed):
+        net = random_network("cl", 6, 3, 14, seed=seed)
+        reference = random_network("cl", 6, 3, 14, seed=seed)
+        clean_network(net)
+        assert networks_equivalent(net, reference)
+        net.check()
+
+    def test_idempotent(self):
+        net = random_network("fix", 6, 3, 14, seed=7)
+        clean_network(net)
+        stats = clean_network(net)
+        assert not stats  # second run is a no-op

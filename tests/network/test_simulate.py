@@ -1,0 +1,81 @@
+"""Bit-parallel simulation and equivalence checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.blif import parse_blif
+from repro.network.simulate import (
+    evaluate_words,
+    networks_equivalent,
+    simulate,
+)
+
+XOR_BLIF = """.model x
+.inputs a b
+.outputs f
+.names a b f
+10 1
+01 1
+.end
+"""
+
+XOR_BLIF_ALT = """.model x2
+.inputs a b
+.outputs f
+.names a b n
+11 1
+.names a b o
+00 1
+.names n o f
+00 1
+.end
+"""
+
+AND_BLIF = """.model a
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+"""
+
+
+class TestSimulate:
+    def test_single_vector(self):
+        net = parse_blif(XOR_BLIF)
+        assert simulate(net, {"a": True, "b": False})["f__po"] is True
+        assert simulate(net, {"a": True, "b": True})["f__po"] is False
+
+    def test_words(self):
+        net = parse_blif(XOR_BLIF)
+        out = evaluate_words(net, {"a": 0b1100, "b": 0b1010}, width=4)
+        assert out["f__po"] == 0b0110
+
+    def test_missing_stimulus(self):
+        net = parse_blif(XOR_BLIF)
+        with pytest.raises(KeyError):
+            evaluate_words(net, {"a": 1}, width=1)
+
+
+class TestEquivalence:
+    def test_same_function_different_structure(self):
+        assert networks_equivalent(parse_blif(XOR_BLIF), parse_blif(XOR_BLIF_ALT))
+
+    def test_different_functions(self):
+        assert not networks_equivalent(parse_blif(XOR_BLIF), parse_blif(AND_BLIF))
+
+    def test_different_ports(self):
+        other = parse_blif(XOR_BLIF.replace(".inputs a b", ".inputs a c")
+                           .replace("a b f", "a c f"))
+        assert not networks_equivalent(parse_blif(XOR_BLIF), other)
+
+    def test_random_vector_path(self):
+        """Force the >exhaustive_limit path with a low limit."""
+        net = parse_blif(XOR_BLIF)
+        assert networks_equivalent(
+            net, parse_blif(XOR_BLIF_ALT), exhaustive_limit=1, num_vectors=64
+        )
+        assert not networks_equivalent(
+            net, parse_blif(AND_BLIF), exhaustive_limit=1, num_vectors=64
+        )

@@ -1,0 +1,100 @@
+"""Row-based detailed placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.place.detailed import detailed_place
+from repro.place.hypergraph import PlacementNetlist
+
+
+def grid_netlist(n=12, cell_area=640.0):
+    """n cells, one chain net, global positions on a diagonal."""
+    names = [f"c{i}" for i in range(n)]
+    netlist = PlacementNetlist(
+        movables=names,
+        sizes={name: cell_area for name in names},
+        nets=[[names[i], names[i + 1]] for i in range(n - 1)],
+        fixed={},
+    )
+    positions = {
+        name: Point(5.0 * i, 7.0 * i) for i, name in enumerate(names)
+    }
+    return netlist, positions
+
+
+class TestDetailedPlace:
+    def test_all_cells_placed(self):
+        netlist, positions = grid_netlist()
+        placement = detailed_place(netlist, positions, cell_height=64.0)
+        assert set(placement.positions) == set(netlist.movables)
+
+    def test_no_overlaps_within_rows(self):
+        netlist, positions = grid_netlist()
+        placement = detailed_place(netlist, positions, cell_height=64.0)
+        for row in placement.rows:
+            spans = sorted(row.x_spans[c] for c in row.cells)
+            for (l1, r1), (l2, r2) in zip(spans, spans[1:]):
+                assert r1 <= l2 + 1e-9
+
+    def test_row_widths_balanced(self):
+        netlist, positions = grid_netlist(n=24)
+        placement = detailed_place(netlist, positions, cell_height=64.0)
+        widths = [row.width for row in placement.rows if row.cells]
+        assert max(widths) <= 2.0 * min(widths) + 10.0
+
+    def test_forced_row_count(self):
+        netlist, positions = grid_netlist()
+        placement = detailed_place(
+            netlist, positions, cell_height=64.0, num_rows=3
+        )
+        assert placement.num_rows == 3
+
+    def test_y_order_preserved(self):
+        """Cells low in the global placement land in low rows."""
+        netlist, positions = grid_netlist(n=20)
+        placement = detailed_place(
+            netlist, positions, cell_height=64.0, num_rows=4,
+            improvement_passes=0,
+        )
+        lowest = placement.rows[0].cells
+        highest = placement.rows[-1].cells
+        assert "c0" in lowest
+        assert "c19" in highest
+
+    def test_improvement_does_not_hurt(self):
+        netlist, positions = grid_netlist(n=16)
+        def hpwl_total(placement):
+            total = 0.0
+            for net in netlist.nets:
+                xs = [placement.positions[p].x for p in net]
+                ys = [placement.positions[p].y for p in net]
+                total += max(xs) - min(xs) + max(ys) - min(ys)
+            return total
+
+        raw = detailed_place(netlist, positions, improvement_passes=0)
+        improved = detailed_place(netlist, positions, improvement_passes=2)
+        assert hpwl_total(improved) <= hpwl_total(raw) + 1e-9
+
+    def test_with_channel_heights(self):
+        netlist, positions = grid_netlist()
+        placement = detailed_place(
+            netlist, positions, cell_height=64.0, num_rows=2
+        )
+        heights = [10.0, 30.0, 5.0]
+        stacked = placement.with_channel_heights(heights)
+        # Row 0 sits just above the 10-unit channel.
+        assert stacked.rows[0].y_center == pytest.approx(10.0 + 32.0)
+        assert stacked.rows[1].y_center == pytest.approx(
+            10.0 + 64.0 + 30.0 + 32.0
+        )
+        for row in stacked.rows:
+            for cell in row.cells:
+                assert stacked.positions[cell].y == pytest.approx(row.y_center)
+
+    def test_with_channel_heights_validates(self):
+        netlist, positions = grid_netlist()
+        placement = detailed_place(netlist, positions, num_rows=3)
+        with pytest.raises(ValueError):
+            placement.with_channel_heights([1.0])

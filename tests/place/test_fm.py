@@ -1,0 +1,86 @@
+"""Fiduccia–Mattheyses bipartitioning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.place.fm import cut_size, fm_bipartition
+
+
+class TestCutSize:
+    def test_counts_spanning_nets(self):
+        side = {"a": 0, "b": 1, "c": 0}
+        assert cut_size([["a", "b"], ["a", "c"], ["b", "b"]], side) == 1
+
+    def test_ignores_free_pins(self):
+        side = {"a": 0}
+        assert cut_size([["a", "ghost"]], side) == 0
+
+
+class TestFm:
+    def test_improves_obvious_cut(self):
+        """Two tight clusters split the wrong way get fixed."""
+        cells = ["a1", "a2", "b1", "b2"]
+        nets = [["a1", "a2"], ["b1", "b2"], ["a1", "a2"], ["b1", "b2"]]
+        bad = {"a1": 0, "a2": 1, "b1": 0, "b2": 1}  # cuts everything
+        refined = fm_bipartition(cells, nets, bad)
+        assert cut_size(nets, refined) == 0
+
+    def test_balance_respected(self):
+        """A star net would love all cells on one side; balance forbids."""
+        cells = [f"c{i}" for i in range(10)]
+        nets = [[c, "hub"] for c in cells]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        initial["hub"] = 0
+        refined = fm_bipartition(cells, nets, initial,
+                                 balance_tolerance=0.1)
+        left = sum(1 for c in cells if refined[c] == 0)
+        assert 4 <= left <= 6
+
+    def test_no_worse_than_initial(self):
+        rng = random.Random(3)
+        cells = [f"c{i}" for i in range(16)]
+        nets = [
+            rng.sample(cells, rng.randint(2, 4)) for _ in range(24)
+        ]
+        initial = {c: rng.randint(0, 1) for c in cells}
+        refined = fm_bipartition(cells, nets, initial)
+        assert cut_size(nets, refined) <= cut_size(nets, initial)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_never_worse(self, seed):
+        rng = random.Random(seed)
+        cells = [f"c{i}" for i in range(10)]
+        nets = [rng.sample(cells, rng.randint(2, 3)) for _ in range(12)]
+        initial = {c: rng.randint(0, 1) for c in cells}
+        refined = fm_bipartition(cells, nets, initial)
+        assert cut_size(nets, refined) <= cut_size(nets, initial)
+        assert set(refined) == set(cells)
+
+    def test_fixed_terminals_guide_cut(self):
+        """Cells tied to fixed terminals follow them."""
+        cells = ["x", "y"]
+        nets = [["padL", "x"], ["padR", "y"]]
+        initial = {"x": 1, "y": 0, "padL": 0, "padR": 1}
+        refined = fm_bipartition(cells, nets, initial)
+        assert refined["x"] == 0
+        assert refined["y"] == 1
+
+    def test_sizes_affect_balance(self):
+        """Area balance never exceeds half-plus-largest-cell."""
+        cells = ["big", "s1", "s2", "s3"]
+        nets = [["big", "s1"], ["s1", "s2"], ["s2", "s3"]]
+        sizes = {"big": 3.0, "s1": 1.0, "s2": 1.0, "s3": 1.0}
+        initial = {"big": 0, "s1": 0, "s2": 1, "s3": 1}
+        refined = fm_bipartition(cells, nets, initial, sizes=sizes,
+                                 balance_tolerance=0.1)
+        left_area = sum(sizes[c] for c in cells if refined[c] == 0)
+        # total 6, max cell 3: each side holds at most 6/2 + 3 = 6 and the
+        # cut never worsens.
+        assert 0.0 <= left_area <= 6.0
+        assert cut_size(nets, refined) <= cut_size(nets, initial)

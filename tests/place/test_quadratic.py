@@ -1,0 +1,114 @@
+"""Quadratic placement solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.place.hypergraph import PlacementNetlist
+from repro.place.quadratic import (
+    clique_edges,
+    quadratic_objective,
+    solve_quadratic,
+)
+
+REGION = Rect(0, 0, 100, 100)
+
+
+def two_pad_netlist():
+    """One movable cell between two fixed pads."""
+    return PlacementNetlist(
+        movables=["m"],
+        sizes={"m": 1.0},
+        nets=[["p0", "m"], ["m", "p1"]],
+        fixed={"p0": Point(0, 50), "p1": Point(100, 50)},
+    )
+
+
+class TestCliqueEdges:
+    def test_two_pin(self):
+        assert clique_edges(["a", "b"]) == [("a", "b", 1.0)]
+
+    def test_weight_normalisation(self):
+        edges = clique_edges(["a", "b", "c", "d"])
+        assert len(edges) == 6
+        assert all(w == pytest.approx(0.5) for *_ab, w in edges)
+
+    def test_star_model(self):
+        edges = clique_edges(["drv", "s1", "s2"], weight_model="star")
+        assert edges == [("drv", "s1", 1.0), ("drv", "s2", 1.0)]
+
+    def test_single_pin(self):
+        assert clique_edges(["a"]) == []
+
+
+class TestSolve:
+    def test_midpoint(self):
+        positions = solve_quadratic(two_pad_netlist(), REGION)
+        assert positions["m"].x == pytest.approx(50, abs=0.5)
+        assert positions["m"].y == pytest.approx(50, abs=0.5)
+
+    def test_weighted_pull(self):
+        netlist = PlacementNetlist(
+            movables=["m"],
+            nets=[["p0", "m"], ["m", "p1"], ["m", "p1"]],  # double pull right
+            fixed={"p0": Point(0, 0), "p1": Point(90, 0)},
+        )
+        positions = solve_quadratic(netlist, REGION)
+        assert positions["m"].x == pytest.approx(60, abs=1.0)
+
+    def test_chain(self):
+        """Three cells in a chain between pads sit at the quarter points."""
+        netlist = PlacementNetlist(
+            movables=["a", "b", "c"],
+            nets=[["L", "a"], ["a", "b"], ["b", "c"], ["c", "R"]],
+            fixed={"L": Point(0, 0), "R": Point(100, 0)},
+        )
+        positions = solve_quadratic(netlist, REGION)
+        assert positions["a"].x == pytest.approx(25, abs=0.5)
+        assert positions["b"].x == pytest.approx(50, abs=0.5)
+        assert positions["c"].x == pytest.approx(75, abs=0.5)
+
+    def test_disconnected_cell_goes_to_center(self):
+        netlist = PlacementNetlist(movables=["lonely"], nets=[], fixed={})
+        positions = solve_quadratic(netlist, REGION)
+        assert positions["lonely"] == Point(50, 50)
+
+    def test_anchors(self):
+        netlist = two_pad_netlist()
+        anchored = solve_quadratic(
+            netlist, REGION, anchors={"m": (Point(10, 10), 100.0)}
+        )
+        assert anchored["m"].x < 15
+        assert anchored["m"].y < 15
+
+    def test_clipped_to_region(self):
+        netlist = PlacementNetlist(
+            movables=["m"],
+            nets=[["p", "m"]],
+            fixed={"p": Point(200, 200)},  # outside region
+        )
+        positions = solve_quadratic(netlist, Rect(0, 0, 100, 100))
+        assert positions["m"].x <= 100 and positions["m"].y <= 100
+
+    def test_empty(self):
+        assert solve_quadratic(PlacementNetlist(), REGION) == {}
+
+
+class TestOptimality:
+    def test_solution_is_local_optimum(self):
+        """Perturbing any cell of the solution cannot reduce the quadratic
+        objective (KKT check by sampling)."""
+        netlist = PlacementNetlist(
+            movables=["a", "b"],
+            nets=[["L", "a"], ["a", "b", "R"]],
+            fixed={"L": Point(0, 0), "R": Point(80, 60)},
+        )
+        positions = solve_quadratic(netlist, REGION)
+        base = quadratic_objective(netlist, positions)
+        for name in ["a", "b"]:
+            for dx, dy in [(1, 0), (-1, 0), (0, 1), (0, -1)]:
+                perturbed = dict(positions)
+                p = positions[name]
+                perturbed[name] = Point(p.x + dx, p.y + dy)
+                assert quadratic_objective(netlist, perturbed) >= base - 1e-6

@@ -1,0 +1,83 @@
+"""Global-router internals: trunk channel choice, pad handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point
+from repro.library.standard import big_library
+from repro.map.netlist import MappedNetwork
+from repro.place.detailed import detailed_place
+from repro.place.hypergraph import mapped_netlist
+from repro.route.global_route import _pad_channel, route_design
+
+
+class TestPadChannel:
+    def test_bottom_pad(self):
+        assert _pad_channel(Point(10, 0), num_rows=3, row_pitch=100) == 0
+
+    def test_top_pad(self):
+        assert _pad_channel(Point(10, 320), num_rows=3, row_pitch=100) == 3
+
+    def test_clamped(self):
+        assert _pad_channel(Point(0, 9999), num_rows=2, row_pitch=100) == 2
+
+    def test_zero_pitch(self):
+        assert _pad_channel(Point(0, 50), num_rows=2, row_pitch=0) == 0
+
+
+@pytest.fixture()
+def two_row_design(big_lib):
+    """Hand-placed two-row design: driver in row 0, sinks split."""
+    m = MappedNetwork("tr")
+    a = m.add_primary_input("a")
+    b = m.add_primary_input("b")
+    g1 = m.add_gate("g1", big_lib["nand2"], [a, b])
+    g2 = m.add_gate("g2", big_lib["inv1"], [g1])
+    g3 = m.add_gate("g3", big_lib["inv1"], [g1])
+    m.add_primary_output("f", g2)
+    m.add_primary_output("h", g3)
+    pads = {
+        "a": Point(0, 0),
+        "b": Point(0, 60),
+        "f": Point(300, 0),
+        "h": Point(300, 120),
+    }
+    netlist = mapped_netlist(m, pads)
+    positions = {
+        "g1": Point(50, 10),
+        "g2": Point(100, 10),
+        "g3": Point(100, 120),
+    }
+    detailed = detailed_place(netlist, positions, num_rows=2)
+    return m, detailed, pads
+
+
+class TestRouteDetails:
+    def test_two_rows_three_channels(self, two_row_design):
+        m, detailed, pads = two_row_design
+        routed = route_design(m, detailed, pads)
+        assert len(routed.channels) == 3
+
+    def test_net_lengths_positive_for_spanning_nets(self, two_row_design):
+        m, detailed, pads = two_row_design
+        routed = route_design(m, detailed, pads)
+        # g1's net spans both rows: must have a non-trivial length.
+        assert routed.net_lengths["g1"] > 0
+
+    def test_wider_track_pitch_taller_chip(self, two_row_design):
+        m, detailed, pads = two_row_design
+        thin = route_design(m, detailed, pads, track_pitch=4.0)
+        wide = route_design(m, detailed, pads, track_pitch=16.0)
+        assert wide.chip_height >= thin.chip_height
+
+    def test_constant_nets_skipped(self, big_lib):
+        m = MappedNetwork("c")
+        const = m.add_constant("const1", True)
+        g = m.add_gate("g", big_lib["inv1"], [const])
+        m.add_primary_output("f", g)
+        pads = {"f": Point(10, 0)}
+        netlist = mapped_netlist(m, pads)
+        detailed = detailed_place(netlist, {"g": Point(5, 5)}, num_rows=1)
+        routed = route_design(m, detailed, pads)
+        assert "const1" not in routed.net_lengths

@@ -1,0 +1,78 @@
+"""Rectilinear MST."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.route.spanning import rectilinear_mst_edges, rectilinear_mst_length
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=2, max_size=7)
+
+
+def brute_force_mst(points):
+    """Minimum spanning tree length by Kruskal over all edges."""
+    n = len(points)
+    edges = sorted(
+        (manhattan(points[i], points[j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for w, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            total += w
+    return total
+
+
+class TestMst:
+    def test_two_points(self):
+        assert rectilinear_mst_length([Point(0, 0), Point(2, 3)]) == 5
+
+    def test_collinear(self):
+        pts = [Point(0, 0), Point(5, 0), Point(2, 0)]
+        assert rectilinear_mst_length(pts) == 5
+
+    def test_edge_count(self):
+        pts = [Point(i, i * i % 7) for i in range(6)]
+        assert len(rectilinear_mst_edges(pts)) == 5
+
+    def test_empty_and_single(self):
+        assert rectilinear_mst_length([]) == 0
+        assert rectilinear_mst_length([Point(1, 1)]) == 0
+
+    @given(point_lists)
+    @settings(max_examples=80)
+    def test_matches_kruskal(self, pts):
+        assert rectilinear_mst_length(pts) == pytest.approx(
+            brute_force_mst(pts)
+        )
+
+    @given(point_lists)
+    @settings(max_examples=40)
+    def test_edges_form_spanning_tree(self, pts):
+        edges = rectilinear_mst_edges(pts)
+        seen = {0}
+        frontier = list(edges)
+        # union all edges; tree property: n-1 edges, connected
+        assert len(edges) == len(pts) - 1
+        import networkx as nx
+
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(len(pts)))
+        assert nx.is_connected(g)

@@ -1,0 +1,60 @@
+"""Rectilinear Steiner tree approximation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.route.spanning import rectilinear_mst_length
+from repro.route.steiner import hanan_points, rsmt_length
+from repro.route.wirelength import hpwl
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=2, max_size=8)
+
+
+class TestHananPoints:
+    def test_grid(self):
+        pts = [Point(0, 0), Point(10, 20)]
+        extra = hanan_points(pts)
+        assert set(p.as_tuple() for p in extra) == {(0, 20), (10, 0)}
+
+    def test_excludes_terminals(self):
+        pts = [Point(0, 0), Point(0, 5)]
+        assert hanan_points(pts) == []
+
+
+class TestRsmt:
+    def test_two_pins(self):
+        assert rsmt_length([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_three_pins_median(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 5)]
+        # Median point (5, 0): lengths 5 + 5 + 5 = 15.
+        assert rsmt_length(pts) == 15
+
+    def test_cross_saves_over_mst(self):
+        """Four corner points: the Steiner cross beats the MST."""
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        assert rsmt_length(pts) == pytest.approx(30)
+        assert rectilinear_mst_length(pts) == pytest.approx(30)
+        # classic star example where a Steiner point helps:
+        pts2 = [Point(0, 0), Point(4, 0), Point(2, 3), Point(2, -3)]
+        assert rsmt_length(pts2) < rectilinear_mst_length(pts2)
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_mst_and_hpwl(self, pts):
+        length = rsmt_length(pts)
+        assert length <= rectilinear_mst_length(pts) + 1e-9
+        assert length >= hpwl(pts) - 1e-9
+
+    def test_large_net_falls_back_to_mst(self):
+        pts = [Point(i * 3 % 50, i * 7 % 50) for i in range(30)]
+        assert rsmt_length(pts) == pytest.approx(rectilinear_mst_length(pts))
+
+    def test_empty_and_single(self):
+        assert rsmt_length([]) == 0
+        assert rsmt_length([Point(0, 0)]) == 0

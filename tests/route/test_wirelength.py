@@ -1,0 +1,72 @@
+"""Wire-length estimation models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.route.wirelength import (
+    chung_hwang_factor,
+    hpwl,
+    net_length_estimate,
+    steiner_estimate,
+)
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False)
+points = st.lists(st.builds(Point, coords, coords), min_size=2, max_size=12)
+
+
+class TestHpwl:
+    def test_two_pins(self):
+        assert hpwl([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_degenerate(self):
+        assert hpwl([Point(5, 5)]) == 0
+        assert hpwl([]) == 0
+
+    @given(points)
+    def test_lower_bounds_any_rectilinear_tree(self, pts):
+        """HPWL never exceeds the MST length."""
+        from repro.route.spanning import rectilinear_mst_length
+
+        assert hpwl(pts) <= rectilinear_mst_length(pts) + 1e-9
+
+
+class TestChungHwang:
+    def test_small_nets_exact(self):
+        assert chung_hwang_factor(2) == 1.0
+        assert chung_hwang_factor(3) == 1.0
+
+    def test_monotone(self):
+        values = [chung_hwang_factor(n) for n in range(2, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_four_pins(self):
+        assert chung_hwang_factor(4) == pytest.approx(1.5)
+
+    def test_steiner_estimate_scales_hpwl(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        assert steiner_estimate(pts) == pytest.approx(hpwl(pts) * 1.5)
+
+
+class TestModelSelection:
+    PTS = [Point(0, 0), Point(10, 0), Point(5, 8)]
+
+    def test_hpwl_model(self):
+        assert net_length_estimate(self.PTS, "hpwl") == hpwl(self.PTS)
+
+    def test_steiner_model(self):
+        assert net_length_estimate(self.PTS, "steiner") == steiner_estimate(self.PTS)
+
+    def test_spanning_model(self):
+        from repro.route.spanning import rectilinear_mst_length
+
+        assert net_length_estimate(self.PTS, "spanning") == pytest.approx(
+            rectilinear_mst_length(self.PTS)
+        )
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            net_length_estimate(self.PTS, "psychic")

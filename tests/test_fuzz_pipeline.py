@@ -1,0 +1,113 @@
+"""Randomized end-to-end fuzzing of the whole stack.
+
+Hypothesis drives circuit-generator parameters; every generated circuit
+must survive BLIF round-tripping, clean-up, decomposition, all four
+mappers and fanout optimization with its function intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lily import LilyAreaMapper
+from repro.library.standard import big_library
+from repro.map.mis import MisAreaMapper, MisDelayMapper
+from repro.network.blif import parse_blif, write_blif
+from repro.network.decompose import decompose_to_subject
+from repro.network.optimize import clean_network
+from repro.network.simulate import networks_equivalent
+from repro.circuits.random_logic import random_network
+
+FUZZ_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+params = st.tuples(
+    st.integers(3, 9),   # inputs
+    st.integers(1, 4),   # outputs
+    st.integers(4, 20),  # nodes
+    st.integers(0, 10_000),  # seed
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return big_library()
+
+
+class TestFuzz:
+    @given(params)
+    @FUZZ_SETTINGS
+    def test_blif_roundtrip(self, p):
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        back = parse_blif(write_blif(net))
+        assert networks_equivalent(net, back)
+
+    @given(params)
+    @FUZZ_SETTINGS
+    def test_cleanup_preserves_function(self, p):
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        ref = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        clean_network(net)
+        assert networks_equivalent(net, ref)
+
+    @given(params)
+    @FUZZ_SETTINGS
+    def test_mis_area_mapping(self, p):
+        library = big_library()
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        subject = decompose_to_subject(net)
+        result = MisAreaMapper(library).map(subject)
+        assert networks_equivalent(net, result.mapped)
+
+    @given(params)
+    @FUZZ_SETTINGS
+    def test_mis_delay_mapping(self, p):
+        library = big_library()
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        subject = decompose_to_subject(net)
+        result = MisDelayMapper(library).map(subject)
+        assert networks_equivalent(net, result.mapped)
+
+    @given(params)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lily_area_mapping(self, p):
+        library = big_library()
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        subject = decompose_to_subject(net)
+        result = LilyAreaMapper(library).map(subject)
+        assert networks_equivalent(net, result.mapped)
+
+    @given(params)
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fanout_pass_after_mapping(self, p):
+        from repro.geometry import Point
+        from repro.timing.fanout import optimize_fanout
+
+        library = big_library()
+        n_in, n_out, nodes, seed = p
+        net = random_network("fz", n_in, max(1, min(n_out, nodes)), nodes,
+                             seed=seed)
+        subject = decompose_to_subject(net)
+        mapped = MisAreaMapper(library).map(subject).mapped
+        for i, g in enumerate(mapped.gates):
+            g.position = Point(float(i % 5) * 10, float(i // 5) * 10)
+        optimize_fanout(mapped, library, max_fanout=3)
+        assert networks_equivalent(net, mapped)

@@ -1,0 +1,55 @@
+"""Required times and slacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.map.netlist import MappedNetwork
+from repro.timing.sta import analyze, required_times, slacks
+
+
+@pytest.fixture()
+def two_path(big_lib):
+    """A short and a long path converging on one output."""
+    m = MappedNetwork("tp")
+    a = m.add_primary_input("a")
+    b = m.add_primary_input("b")
+    long1 = m.add_gate("long1", big_lib["inv1"], [a])
+    long2 = m.add_gate("long2", big_lib["inv1"], [long1])
+    long3 = m.add_gate("long3", big_lib["inv1"], [long2])
+    join = m.add_gate("join", big_lib["nand2"], [long3, b])
+    m.add_primary_output("f", join)
+    return m
+
+
+class TestRequiredTimes:
+    def test_critical_path_zero_slack(self, two_path):
+        report = analyze(two_path, wire_model=None)
+        slack = slacks(two_path, report)
+        # The long path is critical; its nodes have (near) zero slack.
+        assert slack["long1"] == pytest.approx(0.0, abs=1e-9)
+        assert slack["long3"] == pytest.approx(0.0, abs=1e-9)
+        assert slack["join"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_short_path_positive_slack(self, two_path):
+        report = analyze(two_path, wire_model=None)
+        slack = slacks(two_path, report)
+        assert slack["b"] > 0.0
+
+    def test_deadline_shifts_slack(self, two_path):
+        report = analyze(two_path, wire_model=None)
+        tight = slacks(two_path, report, deadline=report.critical_delay)
+        loose = slacks(two_path, report,
+                       deadline=report.critical_delay + 10.0)
+        for name in tight:
+            assert loose[name] == pytest.approx(tight[name] + 10.0)
+
+    def test_required_monotone_along_path(self, two_path):
+        report = analyze(two_path, wire_model=None)
+        required = required_times(two_path, report)
+        assert required["long1"] <= required["long2"] <= required["long3"]
+
+    def test_no_negative_slack_at_default_deadline(self, two_path):
+        report = analyze(two_path, wire_model=None)
+        slack = slacks(two_path, report)
+        assert min(slack.values()) >= -1e-9

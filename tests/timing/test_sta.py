@@ -1,0 +1,114 @@
+"""Static timing analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point
+from repro.map.netlist import MappedNetwork
+from repro.timing.model import WireCapModel
+from repro.timing.sta import analyze, critical_path
+
+
+@pytest.fixture()
+def chain(big_lib):
+    """PI -> nand2 -> inv -> PO with one extra input."""
+    m = MappedNetwork("chain")
+    a = m.add_primary_input("a")
+    b = m.add_primary_input("b")
+    g1 = m.add_gate("g1", big_lib["nand2"], [a, b])
+    g2 = m.add_gate("g2", big_lib["inv1"], [g1])
+    m.add_primary_output("f", g2)
+    return m, g1, g2
+
+
+class TestArrivalRecursion:
+    def test_hand_computed(self, big_lib, chain):
+        m, g1, g2 = chain
+        report = analyze(m, wire_model=None, pad_cap=0.1)
+        nand2 = big_lib["nand2"]
+        inv1 = big_lib["inv1"]
+        # g1 load: inv1 input cap; g1 arrival = block + R * load.
+        load_g1 = inv1.pins[0].input_cap
+        t_g1_rise = (nand2.pins[0].timing.rise_block
+                     + nand2.pins[0].timing.rise_resistance * load_g1)
+        assert report.arrivals["g1"].rise == pytest.approx(t_g1_rise)
+        # g2 load: the pad.
+        t_g2 = report.arrivals["g2"].worst
+        expected_rise = (report.arrivals["g1"].worst
+                         + inv1.pins[0].timing.rise_block
+                         + inv1.pins[0].timing.rise_resistance * 0.1)
+        expected_fall = (report.arrivals["g1"].worst
+                         + inv1.pins[0].timing.fall_block
+                         + inv1.pins[0].timing.fall_resistance * 0.1)
+        assert t_g2 == pytest.approx(max(expected_rise, expected_fall))
+        assert report.critical_delay == pytest.approx(t_g2)
+        assert report.critical_po == "f"
+
+    def test_input_arrivals(self, chain):
+        m, *_ = chain
+        base = analyze(m, wire_model=None)
+        late = analyze(m, wire_model=None, input_arrivals={"a": 5.0})
+        assert late.critical_delay == pytest.approx(
+            base.critical_delay + 5.0
+        )
+
+    def test_wire_capacitance_slows(self, chain):
+        m, g1, g2 = chain
+        m["a"].position = Point(0, 0)
+        m["b"].position = Point(0, 100)
+        g1.position = Point(500, 0)
+        g2.position = Point(1000, 500)
+        m["f"].position = Point(1000, 1000)
+        no_wire = analyze(m, wire_model=None).critical_delay
+        with_wire = analyze(m, wire_model=WireCapModel()).critical_delay
+        assert with_wire > no_wire
+
+    def test_fanout_count_fallback(self, chain):
+        m, *_ = chain
+        small = analyze(m, wire_model=None, wire_cap_per_fanout=0.0)
+        big = analyze(m, wire_model=None, wire_cap_per_fanout=0.5)
+        assert big.critical_delay > small.critical_delay
+
+    def test_node_arrival_side_effect(self, chain):
+        m, g1, g2 = chain
+        report = analyze(m, wire_model=None)
+        assert g2.arrival == pytest.approx(report.critical_delay)
+
+
+class TestCriticalPath:
+    def test_path_extraction(self, chain):
+        m, g1, g2 = chain
+        report = analyze(m, wire_model=None)
+        path = critical_path(m, report)
+        names = [n.name for n in path]
+        assert names[-1] == "f"
+        assert "g2" in names and "g1" in names
+        assert path[0].is_pi
+
+    def test_monotone_arrivals_along_path(self, big_lib):
+        from repro.circuits.arith import ripple_carry_adder
+        from repro.map.mis import MisAreaMapper
+        from repro.network.decompose import decompose_to_subject
+
+        net = ripple_carry_adder(4)
+        mapped = MisAreaMapper(big_lib).map(decompose_to_subject(net)).mapped
+        report = analyze(mapped, wire_model=None)
+        path = critical_path(mapped, report)
+        arrivals = [report.arrivals[n.name].worst for n in path]
+        assert all(b >= a - 1e-9 for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_empty_network(self):
+        m = MappedNetwork("empty")
+        report = analyze(m)
+        assert report.critical_delay == 0.0
+        assert critical_path(m, report) == []
+
+    def test_constant_arrival_zero(self, big_lib):
+        m = MappedNetwork("const")
+        c = m.add_constant("const1", True)
+        g = m.add_gate("g", big_lib["inv1"], [c])
+        m.add_primary_output("f", g)
+        report = analyze(m, wire_model=None)
+        assert report.arrivals["const1"].worst == 0.0
+        assert report.critical_delay > 0.0
