@@ -1,0 +1,120 @@
+"""Machine-readable perf snapshot of the hot components.
+
+Writes ``BENCH_PR1.json`` (or a given path) with best-of-N wall times for
+every component ``test_component_speed.py`` benchmarks, so the repo's
+perf trajectory is tracked as a committed artifact from PR 1 onward.
+Later PRs add ``BENCH_PR<n>.json`` next to it and compare.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
+        [--circuit C880] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+from typing import Callable, Dict
+
+from repro.area.estimate import subject_image
+from repro.circuits.suite import build_circuit
+from repro.core.lily import LilyAreaMapper
+from repro.library.patterns import pattern_set_for
+from repro.library.standard import big_library
+from repro.map.mis import MisAreaMapper
+from repro.match.treematch import Matcher
+from repro.network.decompose import decompose_to_subject
+from repro.obs import OBS, observed
+from repro.place.global_place import GlobalPlacer
+from repro.place.hypergraph import subject_netlist
+from repro.place.pads import assign_pads
+from repro.route.channel import left_edge_route
+from repro.timing.sta import analyze
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def snapshot(circuit: str = "C880", repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` seconds per component, observability off."""
+    assert not OBS.enabled
+    net = build_circuit(circuit)
+    library = big_library()
+    patterns = pattern_set_for(library)  # warm the pattern cache
+    subject = decompose_to_subject(net)
+    matcher = Matcher(patterns)
+    region = subject_image(len(subject.gates))
+    pads = assign_pads(subject, region)
+    netlist = subject_netlist(subject, pads)
+    intervals = {
+        f"n{i}": ((i * 37) % 500.0, (i * 37) % 500.0 + 25 + (i % 60))
+        for i in range(400)
+    }
+    mapped = MisAreaMapper(library).map(subject).mapped
+
+    gate_nodes = [n for n in subject.nodes if n.is_gate]
+    timings = {
+        "decompose": _best_of(lambda: decompose_to_subject(net), repeats),
+        "matching": _best_of(
+            lambda: sum(len(matcher.matches_at(n)) for n in gate_nodes),
+            repeats,
+        ),
+        "global_placement": _best_of(
+            lambda: GlobalPlacer().place(netlist, region), repeats
+        ),
+        "left_edge": _best_of(lambda: left_edge_route(intervals), repeats),
+        "mis_map": _best_of(
+            lambda: MisAreaMapper(library).map(subject), repeats
+        ),
+        "lily_map": _best_of(
+            lambda: LilyAreaMapper(library).map(subject),
+            max(1, repeats - 1),
+        ),
+        "sta": _best_of(lambda: analyze(mapped, wire_model=None), repeats),
+    }
+    # The same matcher sweep with tracing+metrics live, so the snapshot
+    # records the observability overhead explicitly.
+    with observed():
+        timings["matching_observed"] = _best_of(
+            lambda: sum(len(matcher.matches_at(n)) for n in gate_nodes),
+            repeats,
+        )
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="perf_snapshot")
+    parser.add_argument("out", nargs="?", default="BENCH_PR1.json")
+    parser.add_argument("--circuit", default="C880")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    timings = snapshot(args.circuit, args.repeats)
+    doc = {
+        "pr": 1,
+        "circuit": args.circuit,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for name, seconds in sorted(timings.items()):
+        print(f"  {name:<20}{seconds:>10.4f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,3 +90,43 @@ def test_speed_lily_map(benchmark, c880_subject, library):
 def test_speed_sta(benchmark, c880_subject, library):
     mapped = MisAreaMapper(library).map(c880_subject).mapped
     benchmark(lambda: analyze(mapped, wire_model=None))
+
+
+# -- observability overhead ---------------------------------------------------
+#
+# The instrumentation added in PR 1 must be free when disabled: hot loops
+# pay one attribute load + truthy check per site.  These two benchmarks
+# bracket the cost — the suite-default runs above execute with the session
+# disabled (so their trend vs. earlier commits measures the disabled-mode
+# overhead), and the *_observed variants show the full recording cost.
+
+
+def test_speed_matching_observed(benchmark, c880_subject, library):
+    from repro.obs import observed
+
+    matcher = Matcher(pattern_set_for(library))
+    nodes = [n for n in c880_subject.nodes if n.is_gate]
+
+    def run():
+        with observed():
+            return sum(len(matcher.matches_at(n)) for n in nodes)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_speed_mis_map_observed(benchmark, c880_subject, library):
+    from repro.obs import observed
+
+    def run():
+        with observed():
+            return MisAreaMapper(library).map(c880_subject)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_obs_disabled_is_default():
+    """The suite benchmarks above must measure the disabled fast path."""
+    from repro.obs import OBS
+
+    assert not OBS.enabled

@@ -33,6 +33,7 @@ from repro.map.lifecycle import NodeState
 from repro.map.netlist import MappedNode
 from repro.match.treematch import Match
 from repro.network.subject import SubjectGraph, SubjectNode
+from repro.obs import OBS
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import subject_netlist
 from repro.place.pads import assign_pads
@@ -114,7 +115,8 @@ class _LilyMixin:
         placer = GlobalPlacer(
             min_cells_per_region=self.options.min_cells_per_region
         )
-        placement = placer.place(self._netlist, region)
+        with OBS.span("lily.initial_place", gates=len(subject.gates)):
+            placement = placer.place(self._netlist, region)
         self.state = PlacementState(region, placement.positions, pads)
         self.state.bind(subject)
         self.placement_region = region
@@ -131,6 +133,8 @@ class _LilyMixin:
     def _tentative_position(
         self, node: SubjectNode, match: Match, inputs: Sequence[Solution]
     ) -> Point:
+        if OBS.enabled:
+            OBS.metrics.counter("lily.position_evals").inc()
         if self.options.position_update == "cm_of_merged":
             return cm_of_merged(match.covered, self.state)
         if self.options.position_update != "cm_of_fans":
@@ -186,6 +190,8 @@ class _LilyMixin:
         mapPositions; all gates (eggs and hawks alike) receive fresh
         placePositions, restoring balance after constructive updates.
         """
+        if OBS.enabled:
+            OBS.metrics.counter("lily.replacements").inc()
         anchors: Dict[str, Tuple[Point, float]] = {}
         for node in self.subject.nodes:
             if not node.is_gate:
@@ -194,9 +200,10 @@ class _LilyMixin:
                 p = self.state.map_position(node)
                 if p is not None:
                     anchors[node.name] = (p, 1.0)
-        positions = solve_quadratic(
-            self._netlist, self.placement_region, anchors=anchors
-        )
+        with OBS.span("lily.replace", anchors=len(anchors)):
+            positions = solve_quadratic(
+                self._netlist, self.placement_region, anchors=anchors
+            )
         for node in self.subject.nodes:
             if node.is_gate:
                 p = positions.get(node.name)

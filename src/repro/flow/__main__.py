@@ -33,6 +33,12 @@ def main(argv=None) -> int:
                         help="pipeline mode for 'report'")
     parser.add_argument("--svg", default=None,
                         help="write the Lily layout as SVG (report only)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-phase time/counter breakdown "
+                             "(report only)")
+    parser.add_argument("--trace", default=None, metavar="OUT.JSON",
+                        help="write a Chrome trace_event JSON file loadable "
+                             "in chrome://tracing or Perfetto (report only)")
     args = parser.parse_args(argv)
 
     circuits = args.circuits or None
@@ -53,26 +59,50 @@ def _report(args, verify: bool) -> None:
     from repro.flow.pipeline import lily_flow, mis_flow
     from repro.flow.report import circuit_report, comparison_report
     from repro.library.standard import big_library
+    from repro.obs import OBS
 
     if not args.circuits:
         raise SystemExit("report needs a circuit name")
+    if args.trace:
+        # Fail before running the flows, not after minutes of mapping.
+        try:
+            with open(args.trace, "w"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace file {args.trace!r}: {exc}")
+    observing = bool(args.profile or args.trace)
+    if observing:
+        OBS.enable()
     library = big_library()
-    for name in args.circuits:
-        net = build_circuit(name, scale=args.scale)
-        mis = mis_flow(net, library, mode=args.mode, verify=verify)
-        lily = lily_flow(net, library, mode=args.mode, verify=verify)
-        print(comparison_report(mis, lily))
-        print()
-        print(circuit_report(lily))
-        if args.svg:
-            from repro.viz import layout_svg
+    try:
+        for name in args.circuits:
+            net = build_circuit(name, scale=args.scale)
+            mis = mis_flow(net, library, mode=args.mode, verify=verify)
+            lily = lily_flow(net, library, mode=args.mode, verify=verify)
+            print(comparison_report(mis, lily))
+            print()
+            print(circuit_report(lily))
+            if args.profile:
+                for result in (mis, lily):
+                    if result.obs is not None:
+                        print()
+                        print(result.obs.format_table())
+            if args.svg:
+                from repro.viz import layout_svg
 
-            svg = layout_svg(
-                lily.backend.routed, lily.backend.pad_positions
-            )
-            with open(args.svg, "w") as f:
-                f.write(svg)
-            print(f"\nlayout written to {args.svg}")
+                svg = layout_svg(
+                    lily.backend.routed, lily.backend.pad_positions
+                )
+                with open(args.svg, "w") as f:
+                    f.write(svg)
+                print(f"\nlayout written to {args.svg}")
+        if args.trace:
+            OBS.tracer.write_chrome_trace(args.trace)
+            print(f"\ntrace written to {args.trace} "
+                  f"(open in chrome://tracing or Perfetto)")
+    finally:
+        if observing:
+            OBS.disable()
 
 
 if __name__ == "__main__":

@@ -14,8 +14,8 @@ difference in the reported metrics comes from the mapping itself.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.area.estimate import ChipEstimate, estimate_chip, mapped_image, subject_image
@@ -28,6 +28,7 @@ from repro.map.netlist import MappedNetwork
 from repro.network.decompose import decompose_to_subject
 from repro.network.network import Network
 from repro.network.simulate import networks_equivalent
+from repro.obs import OBS, ObsReport, build_report
 from repro.place.detailed import DetailedPlacement, detailed_place
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import mapped_netlist
@@ -70,6 +71,9 @@ class FlowResult:
     backend: BackendResult
     equivalent: bool
     runtime_s: float
+    #: Per-phase tracing/metrics report; populated when the global
+    #: observability session (``repro.obs.OBS``) is enabled.
+    obs: Optional[ObsReport] = None
 
     @property
     def mapped(self) -> MappedNetwork:
@@ -139,10 +143,12 @@ def place_and_route(
             for name in netlist.movables
         }
     else:
-        placement = GlobalPlacer().place(netlist, region)
+        with OBS.span("place.global", cells=len(netlist.movables)):
+            placement = GlobalPlacer().place(netlist, region)
         positions = placement.positions
 
-    detailed = detailed_place(netlist, positions)
+    with OBS.span("place.detailed", cells=len(positions)):
+        detailed = detailed_place(netlist, positions)
     if anneal:
         from repro.place.anneal import simulated_annealing
 
@@ -170,24 +176,41 @@ def mis_flow(
     verify: bool = True,
 ) -> FlowResult:
     """Pipeline 1: MIS mapping, layout afterwards."""
-    start = time.time()
-    subject = decompose_to_subject(net)
-    if mode == "area":
-        mapper = MisAreaMapper(library)
-    elif mode == "timing":
-        mapper = MisDelayMapper(library)
-    else:
-        raise ValueError(f"unknown mode: {mode!r}")
-    result = mapper.map(subject)
-    pad_order = io_affinity_order(net)
-    pad_order = _mapped_terminal_names(result.mapped, pad_order)
-    backend = place_and_route(result.mapped, pad_order, wire_model)
-    equivalent = (
-        networks_equivalent(net, result.mapped) if verify else True
+    start = perf_counter()
+    counters_before = (
+        OBS.metrics.snapshot_counters() if OBS.enabled else None
     )
+    with OBS.span("flow", mapper="mis", circuit=net.name, mode=mode) as root:
+        with OBS.span("decompose"):
+            subject = decompose_to_subject(net)
+        if mode not in ("area", "timing"):
+            raise ValueError(f"unknown mode: {mode!r}")
+        # Pattern-set generation is cached per library; the first flow in a
+        # process pays it here, so it gets its own phase row.
+        with OBS.span("patterns"):
+            if mode == "area":
+                mapper = MisAreaMapper(library)
+            else:
+                mapper = MisDelayMapper(library)
+        with OBS.span("map", gates=len(subject.gates)):
+            result = mapper.map(subject)
+        with OBS.span("pads"):
+            pad_order = io_affinity_order(net)
+            pad_order = _mapped_terminal_names(result.mapped, pad_order)
+        with OBS.span("backend"):
+            backend = place_and_route(result.mapped, pad_order, wire_model)
+        with OBS.span("verify", enabled=verify):
+            equivalent = (
+                networks_equivalent(net, result.mapped) if verify else True
+            )
+    runtime = perf_counter() - start
+    report = None
+    if root is not None:
+        report = build_report(root, OBS, counters_before,
+                              flow="mis", circuit=net.name)
     return FlowResult(
-        net.name, "mis", mode, result, backend, equivalent,
-        time.time() - start,
+        net.name, "mis", mode, result, backend, equivalent, runtime,
+        obs=report,
     )
 
 
@@ -209,54 +232,72 @@ def lily_flow(
     and each node's decomposition tree is built proximity-first, so nearby
     signals enter each tree at topologically-near points (Figure 1.1b).
     """
-    start = time.time()
-    pad_order = io_affinity_order(net)
-    if layout_driven_decomposition:
-        subject = _decompose_layout_driven(net, pad_order)
-    else:
-        subject = decompose_to_subject(net)
-    region = subject_image(len(subject.gates))
-    subject_pads = pads_from_order(
-        _subject_terminal_names(subject, pad_order), region
+    start = perf_counter()
+    counters_before = (
+        OBS.metrics.snapshot_counters() if OBS.enabled else None
     )
-    if options is None and mode == "timing":
-        # CM-of-Merged keeps the evolving placement balanced and — because
-        # both the subject placement and the back-end placement derive from
-        # the same connectivity and pad order — transfers best to the final
-        # layout in delay mode (Section 3.2's stated advantage).
-        options = LilyOptions(position_update="cm_of_merged")
-    if mode == "area":
-        mapper = LilyAreaMapper(
-            library, options=options, region=region, pad_positions=subject_pads
+    with OBS.span("flow", mapper="lily", circuit=net.name, mode=mode) as root:
+        with OBS.span("pads"):
+            pad_order = io_affinity_order(net)
+        with OBS.span("decompose", layout_driven=layout_driven_decomposition):
+            if layout_driven_decomposition:
+                subject = _decompose_layout_driven(net, pad_order)
+            else:
+                subject = decompose_to_subject(net)
+        region = subject_image(len(subject.gates))
+        subject_pads = pads_from_order(
+            _subject_terminal_names(subject, pad_order), region
         )
-    elif mode == "timing":
-        mapper = LilyDelayMapper(
-            library,
-            options=options,
-            region=region,
-            pad_positions=subject_pads,
-            wire_cap=wire_model,
-        )
-    else:
-        raise ValueError(f"unknown mode: {mode!r}")
-    result = mapper.map(subject)
-    backend_pad_order = _mapped_terminal_names(result.mapped, pad_order)
-    seed = None
-    if seed_backend_from_mapper:
-        seed = {
-            g.name: g.position
-            for g in result.mapped.gates
-            if g.position is not None
-        }
-    backend = place_and_route(
-        result.mapped, backend_pad_order, wire_model, seed_positions=seed
-    )
-    equivalent = (
-        networks_equivalent(net, result.mapped) if verify else True
-    )
+        if options is None and mode == "timing":
+            # CM-of-Merged keeps the evolving placement balanced and — because
+            # both the subject placement and the back-end placement derive from
+            # the same connectivity and pad order — transfers best to the final
+            # layout in delay mode (Section 3.2's stated advantage).
+            options = LilyOptions(position_update="cm_of_merged")
+        if mode not in ("area", "timing"):
+            raise ValueError(f"unknown mode: {mode!r}")
+        # Same cached pattern-set note as mis_flow: first flow pays it here.
+        with OBS.span("patterns"):
+            if mode == "area":
+                mapper = LilyAreaMapper(
+                    library, options=options, region=region,
+                    pad_positions=subject_pads
+                )
+            else:
+                mapper = LilyDelayMapper(
+                    library,
+                    options=options,
+                    region=region,
+                    pad_positions=subject_pads,
+                    wire_cap=wire_model,
+                )
+        with OBS.span("map", gates=len(subject.gates)):
+            result = mapper.map(subject)
+        backend_pad_order = _mapped_terminal_names(result.mapped, pad_order)
+        seed = None
+        if seed_backend_from_mapper:
+            seed = {
+                g.name: g.position
+                for g in result.mapped.gates
+                if g.position is not None
+            }
+        with OBS.span("backend"):
+            backend = place_and_route(
+                result.mapped, backend_pad_order, wire_model,
+                seed_positions=seed
+            )
+        with OBS.span("verify", enabled=verify):
+            equivalent = (
+                networks_equivalent(net, result.mapped) if verify else True
+            )
+    runtime = perf_counter() - start
+    report = None
+    if root is not None:
+        report = build_report(root, OBS, counters_before,
+                              flow="lily", circuit=net.name)
     return FlowResult(
-        net.name, "lily", mode, result, backend, equivalent,
-        time.time() - start,
+        net.name, "lily", mode, result, backend, equivalent, runtime,
+        obs=report,
     )
 
 

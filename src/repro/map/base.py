@@ -30,6 +30,7 @@ from repro.map.lifecycle import LifecycleTracker, NodeState
 from repro.map.netlist import MappedNetwork, MappedNode
 from repro.match.treematch import Match, Matcher
 from repro.network.subject import SubjectGraph, SubjectNode
+from repro.obs import OBS
 
 __all__ = ["Solution", "MapResult", "BaseMapper", "NoMatchError"]
 
@@ -202,11 +203,16 @@ class BaseMapper:
         if cached is None:
             cached = self.matcher.matches_at(node)
             self._match_cache[node.uid] = cached
+        elif OBS.enabled:
+            OBS.metrics.counter("match.cache_hits").inc()
         return cached
 
     def _map_cone(self, po: SubjectNode, cone: Set[SubjectNode]) -> None:
         driver = po.fanins[0]
         self.memo = {}
+        if OBS.enabled:
+            OBS.metrics.counter("dp.cones").inc()
+            OBS.metrics.histogram("dp.cone_size").observe(len(cone))
         self.on_cone_begin(po)
         if driver.is_gate:
             self._solve_cone(driver, cone)
@@ -225,7 +231,11 @@ class BaseMapper:
                 continue  # reuse: its gate already exists
             self.lifecycle.visit(node)
             best: Optional[Solution] = None
-            for match in self._matches_at(node):
+            matches = self._matches_at(node)
+            if OBS.enabled:
+                OBS.metrics.counter("dp.nodes_visited").inc()
+                OBS.metrics.counter("dp.states_expanded").inc(len(matches))
+            for match in matches:
                 inputs = [self.solution_of(v) for v in match.inputs]
                 solution = self.evaluate_match(node, match, inputs)
                 if solution is None:
@@ -326,4 +336,6 @@ class BaseMapper:
         for inner in match.inner:
             self.lifecycle.make_dove(inner)
         self.instances[node.uid] = instance
+        if OBS.enabled:
+            OBS.metrics.counter("dp.gates_committed").inc()
         self.on_commit(node, solution, instance)

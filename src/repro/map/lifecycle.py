@@ -21,6 +21,7 @@ import enum
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.network.subject import SubjectNode
+from repro.obs import OBS
 
 __all__ = ["NodeState", "LifecycleTracker", "LifecycleError"]
 
@@ -82,6 +83,10 @@ class LifecycleTracker:
         self.history.append((node.uid, frm, to))
         if frm is NodeState.DOVE and to is NodeState.EGG:
             self.reincarnations += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                f"lifecycle.{frm.value}_to_{to.value}"
+            ).inc()
 
     def visit(self, node: SubjectNode) -> None:
         """Mark an egg as a nestling (the DP pass has reached it)."""

@@ -18,6 +18,7 @@ from repro.library.cell import Library
 from repro.map.base import BaseMapper, Solution
 from repro.match.treematch import Match
 from repro.network.subject import SubjectGraph, SubjectNode
+from repro.obs import OBS
 
 __all__ = ["MisAreaMapper", "MisDelayMapper", "inchoate_fanout_count"]
 
@@ -82,6 +83,8 @@ class MisDelayMapper(BaseMapper):
     def evaluate_match(
         self, node: SubjectNode, match: Match, inputs: Sequence[Solution]
     ) -> Solution:
+        if OBS.enabled:
+            OBS.metrics.counter("mis.delay_evals").inc()
         load = self.estimated_load(node)
         arrival = 0.0
         for pin_index, input_solution in enumerate(inputs):

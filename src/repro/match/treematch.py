@@ -27,6 +27,7 @@ from repro.library.patterns import (
     PatternSet,
 )
 from repro.network.subject import SubjectGraph, SubjectNode, SubjectNodeType
+from repro.obs import OBS
 
 __all__ = ["Match", "Matcher", "find_matches"]
 
@@ -136,7 +137,12 @@ class Matcher:
             return []
         found: List[Match] = []
         seen: Set[tuple] = set()
-        for pattern in self.patterns.rooted_at(kind):
+        candidates = self.patterns.rooted_at(kind)
+        observing = OBS.enabled
+        if observing:
+            OBS.metrics.counter("match.calls").inc()
+            OBS.metrics.counter("match.patterns_tried").inc(len(candidates))
+        for pattern in candidates:
             for binding, covered in _match_pattern(pattern.root, snode):
                 if len(binding) != pattern.cell.num_inputs:
                     continue
@@ -156,6 +162,8 @@ class Matcher:
                     continue
                 seen.add(key)
                 found.append(Match(pattern, snode, inputs, frozenset(covered)))
+        if observing:
+            OBS.metrics.counter("match.found").inc(len(found))
         return found
 
     def all_matches(self, graph: SubjectGraph) -> Dict[int, List[Match]]:

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.geometry import Point
 from repro.network.network import Network, Node
 from repro.network.subject import SubjectGraph, SubjectNode
+from repro.obs import OBS
 
 __all__ = ["decompose_to_subject", "proximity_pairer", "balanced_pairer"]
 
@@ -164,6 +165,7 @@ def decompose_to_subject(
     for pi in net.primary_inputs:
         node_map[pi.name] = graph.add_primary_input(pi.name)
 
+    covers = 0
     for node in net.topological_order():
         if node.is_pi or node.is_po:
             continue
@@ -175,9 +177,13 @@ def decompose_to_subject(
         if subject.is_gate and subject.source is None:
             subject.source = node.name
         node_map[node.name] = subject
+        covers += 1
 
     for po in net.primary_outputs:
         graph.add_primary_output(po.name, node_map[po.fanins[0].name])
     graph.sweep_dangling()
     graph.check()
+    if OBS.enabled:
+        OBS.metrics.counter("decompose.covers").inc(covers)
+        OBS.metrics.counter("decompose.subject_gates").inc(len(graph.gates))
     return graph

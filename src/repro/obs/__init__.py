@@ -1,0 +1,44 @@
+"""Observability: tracing spans + metrics for the mapping pipeline.
+
+Usage, from instrumented code (hot-path pattern)::
+
+    from repro.obs import OBS
+
+    with OBS.span("cover", circuit=name):
+        ...
+    if OBS.enabled:
+        OBS.metrics.counter("dp.states_expanded").inc()
+
+and from a driver::
+
+    from repro.obs import OBS, observed
+
+    with observed():
+        result = lily_flow(net, library)
+    print(result.obs.format_table())
+    OBS.tracer.write_chrome_trace("trace.json")
+
+With the session disabled (the default) the instrumentation costs one
+attribute check per site; ``OBS.span`` returns a shared no-op context.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.report import ObsReport, PhaseStat, build_report
+from repro.obs.session import OBS, ObsSession, get_session, observed
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "OBS",
+    "ObsSession",
+    "get_session",
+    "observed",
+    "Tracer",
+    "Span",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsReport",
+    "PhaseStat",
+    "build_report",
+]

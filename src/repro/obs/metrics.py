@@ -1,0 +1,128 @@
+"""Named counters, gauges and histograms for the mapping pipeline.
+
+A :class:`Metrics` registry creates instruments on first use, so
+instrumented code never has to declare them up front::
+
+    OBS.metrics.counter("dp.states_expanded").inc(len(matches))
+
+Counters are monotone totals (matches attempted, DP states expanded,
+lifecycle transitions); gauges hold the latest value of something
+(partitioning levels, routed track count); histograms keep running
+count/sum/min/max statistics of an observed distribution (annealing
+deltas, per-cone match counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """The most recent value of a quantity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Running summary statistics of an observed distribution."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self.counters.items()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as plain JSON-ready values."""
+        return {
+            "counters": self.snapshot_counters(),
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: h.summary() for name, h in self.histograms.items()
+            },
+        }

@@ -1,0 +1,182 @@
+"""Per-flow observability reports (the ``--profile`` phase table).
+
+An :class:`ObsReport` freezes what one pipeline run did: the span tree
+under the flow's root span aggregated into per-phase rows (inclusive and
+exclusive wall time, call counts), plus the counters/gauges/histograms
+the run moved.  It is attached to ``FlowResult.obs`` so table drivers,
+benchmarks and the CLI can all consume the same numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.session import ObsSession
+from repro.obs.tracer import Span
+
+__all__ = ["PhaseStat", "ObsReport", "build_report"]
+
+#: Aggregated phase rows deeper than this are folded into their parent.
+MAX_TABLE_DEPTH = 2
+
+
+@dataclass
+class PhaseStat:
+    """One aggregated row of the phase table."""
+
+    path: str  # "map/lily.initial_place"
+    depth: int  # 1 for direct children of the flow root
+    count: int
+    total_s: float  # inclusive
+    exclusive_s: float
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+
+@dataclass
+class ObsReport:
+    """Everything one flow run recorded."""
+
+    flow: str  # "mis" | "lily"
+    circuit: str
+    wall_s: float
+    phases: List[PhaseStat] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def phase_total(self) -> float:
+        """Sum of top-level phase times (should track ``wall_s``)."""
+        return sum(p.total_s for p in self.phases if p.depth == 1)
+
+    def phase(self, path: str) -> Optional[PhaseStat]:
+        for p in self.phases:
+            if p.path == path:
+                return p
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "flow": self.flow,
+            "circuit": self.circuit,
+            "wall_s": self.wall_s,
+            "phases": [
+                {
+                    "path": p.path,
+                    "depth": p.depth,
+                    "count": p.count,
+                    "total_s": p.total_s,
+                    "exclusive_s": p.exclusive_s,
+                }
+                for p in self.phases
+            ],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def format_table(self) -> str:
+        """The human-readable ``--profile`` breakdown."""
+        lines = [
+            f"=== profile: {self.circuit} — {self.flow} "
+            f"({self.wall_s:.3f}s wall) ==="
+        ]
+        lines.append(
+            f"{'phase':<28}{'calls':>7}{'total s':>10}{'excl s':>10}{'%':>6}"
+        )
+        for p in self.phases:
+            indent = "  " * (p.depth - 1)
+            share = 100.0 * p.total_s / self.wall_s if self.wall_s else 0.0
+            lines.append(
+                f"{indent + p.name:<28}{p.count:>7}{p.total_s:>10.3f}"
+                f"{p.exclusive_s:>10.3f}{share:>6.1f}"
+            )
+        covered = self.phase_total()
+        lines.append(
+            f"{'(phases sum)':<28}{'':>7}{covered:>10.3f}{'':>10}"
+            f"{100.0 * covered / self.wall_s if self.wall_s else 0.0:>6.1f}"
+        )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<34}{self.counters[name]:>12}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<34}{self.gauges[name]:>12.3f}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"  {name:<34}n={h['count']:<8.0f}"
+                    f"mean={h['mean']:<10.3f}"
+                    f"min={h['min']:<10.3f}max={h['max']:<.3f}"
+                )
+        return "\n".join(lines)
+
+
+def _aggregate(root: Span) -> List[PhaseStat]:
+    """Fold the span tree into path-keyed rows, document order."""
+    rows: Dict[str, PhaseStat] = {}
+    order: List[str] = []
+
+    def visit(span: Span, prefix: str, depth: int) -> None:
+        path = f"{prefix}{span.name}" if prefix else span.name
+        stat = rows.get(path)
+        if stat is None:
+            stat = rows[path] = PhaseStat(path, depth, 0, 0.0, 0.0)
+            order.append(path)
+        stat.count += 1
+        stat.total_s += span.duration
+        if depth >= MAX_TABLE_DEPTH:
+            # Fold deeper descendants into this row's exclusive time.
+            stat.exclusive_s += span.duration
+            return
+        stat.exclusive_s += span.exclusive
+        for child in span.children:
+            visit(child, f"{path}/", depth + 1)
+
+    for child in root.children:
+        visit(child, "", 1)
+    return [rows[path] for path in order]
+
+
+def build_report(
+    root: Span,
+    session: ObsSession,
+    counters_before: Optional[Dict[str, int]] = None,
+    flow: str = "",
+    circuit: str = "",
+) -> ObsReport:
+    """Freeze the subtree under ``root`` plus the metric movement.
+
+    ``counters_before`` is a pre-flow snapshot; the report holds only the
+    delta so consecutive flows in one session stay separable.  Gauges and
+    histograms are session-cumulative (a gauge's last value and a
+    histogram's min/max cannot be meaningfully differenced).
+    """
+    counters_before = counters_before or {}
+    counters: Dict[str, int] = {}
+    for name, value in session.metrics.snapshot_counters().items():
+        delta = value - counters_before.get(name, 0)
+        if delta:
+            counters[name] = delta
+    return ObsReport(
+        flow=flow or str(root.attrs.get("mapper", "")),
+        circuit=circuit or str(root.attrs.get("circuit", "")),
+        wall_s=root.duration,
+        phases=_aggregate(root),
+        counters=counters,
+        gauges={k: g.value for k, g in session.metrics.gauges.items()},
+        histograms={
+            k: h.summary() for k, h in session.metrics.histograms.items()
+        },
+    )

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.geometry import Point
+from repro.obs import OBS
 from repro.place.detailed import DetailedPlacement, Row
 from repro.place.hypergraph import PlacementNetlist
 
@@ -153,6 +154,26 @@ def simulated_annealing(
     stats = AnnealStats()
     if len(cells) < 2:
         return stats
+    with OBS.span("place.anneal", cells=len(cells)):
+        _anneal(placement, netlist, seed, moves_per_cell, cooling,
+                min_acceptance, cells, stats)
+    if OBS.enabled:
+        OBS.metrics.counter("anneal.moves_tried").inc(stats.moves_tried)
+        OBS.metrics.counter("anneal.moves_accepted").inc(stats.moves_accepted)
+        OBS.metrics.histogram("anneal.improvement").observe(stats.improvement)
+    return stats
+
+
+def _anneal(
+    placement: DetailedPlacement,
+    netlist: PlacementNetlist,
+    seed: int,
+    moves_per_cell: int,
+    cooling: float,
+    min_acceptance: float,
+    cells: List[str],
+    stats: AnnealStats,
+) -> None:
     rng = random.Random(seed)
     state = _Incremental(placement, netlist)
     stats.initial_hpwl = state.total
@@ -202,4 +223,3 @@ def simulated_annealing(
             break
 
     stats.final_hpwl = state.total
-    return stats

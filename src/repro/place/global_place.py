@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import Point, Rect
+from repro.obs import OBS
 from repro.place.fm import fm_bipartition
 from repro.place.hypergraph import PlacementNetlist
 from repro.place.quadratic import solve_quadratic
@@ -71,10 +72,14 @@ class GlobalPlacer:
         netlist.check()
         if not netlist.movables:
             return GlobalPlacement({}, region, [region], {})
-        positions = solve_quadratic(netlist, region)
+        with OBS.span("place.quadratic", cells=len(netlist.movables)):
+            positions = solve_quadratic(netlist, region)
+        if OBS.enabled:
+            OBS.metrics.counter("place.quadratic_solves").inc()
         partitions: List[Tuple[Rect, List[str]]] = [
             (region, list(netlist.movables))
         ]
+        levels_run = 0
         for level in range(self.max_levels):
             if all(
                 len(cells) <= self.min_cells_per_region
@@ -82,13 +87,21 @@ class GlobalPlacer:
             ):
                 break
             partitions = self._split_level(partitions, netlist, positions, level)
+            levels_run = level + 1
             anchor_weight = self.anchor_base * (2.0 ** level)
             anchors = {}
             for rect, cells in partitions:
                 center = rect.center
                 for cell in cells:
                     anchors[cell] = (center, anchor_weight)
-            positions = solve_quadratic(netlist, region, anchors=anchors)
+            with OBS.span("place.quadratic", level=level,
+                          partitions=len(partitions)):
+                positions = solve_quadratic(netlist, region, anchors=anchors)
+            if OBS.enabled:
+                OBS.metrics.counter("place.quadratic_solves").inc()
+        if OBS.enabled:
+            OBS.metrics.counter("place.partitions").inc(len(partitions))
+            OBS.metrics.gauge("place.levels").set(levels_run)
 
         final: Dict[str, Point] = {}
         assignment: Dict[str, int] = {}
@@ -181,6 +194,8 @@ class GlobalPlacer:
         Pins outside the region (other cells and pads) are fixed on the
         side their current position suggests.
         """
+        if OBS.enabled:
+            OBS.metrics.counter("place.fm_refinements").inc()
         local = set(low_cells) | set(high_cells)
         cut_coord = _mean_boundary(positions, low_cells, high_cells, vertical_cut)
         initial: Dict[str, int] = {}

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import Point
 from repro.map.netlist import MappedNetwork, Net
+from repro.obs import OBS
 from repro.place.detailed import DetailedPlacement
 from repro.route.channel import ChannelResult, left_edge_route
 
@@ -88,6 +89,21 @@ def route_design(
         The routed design with channel tracks, per-net routed lengths and
         final chip dimensions.
     """
+    with OBS.span("route.global", rows=placement.num_rows):
+        design = _route_design(mapped, placement, pad_positions, track_pitch)
+    if OBS.enabled:
+        OBS.metrics.counter("route.nets_routed").inc(len(design.net_lengths))
+        OBS.metrics.counter("route.channels").inc(len(design.channels))
+        OBS.metrics.gauge("route.total_tracks").set(design.total_tracks)
+    return design
+
+
+def _route_design(
+    mapped: MappedNetwork,
+    placement: DetailedPlacement,
+    pad_positions: Dict[str, Point],
+    track_pitch: float,
+) -> RoutedDesign:
     num_rows = placement.num_rows
     row_pitch = placement.cell_height + placement.channel_height_guess
     num_channels = num_rows + 1

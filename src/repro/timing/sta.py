@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import Point
 from repro.map.netlist import MappedNetwork, MappedNode
+from repro.obs import OBS
 from repro.timing.model import WireCapModel, net_wire_capacitance
 
 __all__ = [
@@ -164,7 +165,25 @@ def analyze(
     """
     input_arrivals = input_arrivals or {}
     report = TimingReport()
-    for node in mapped.topological_order():
+    order = mapped.topological_order()
+    if OBS.enabled:
+        OBS.metrics.counter("sta.node_visits").inc(len(order))
+    with OBS.span("sta.analyze", nodes=len(order)):
+        _propagate(mapped, order, report, wire_model, input_arrivals,
+                   pad_cap, wire_cap_per_fanout)
+    return report
+
+
+def _propagate(
+    mapped: MappedNetwork,
+    order: Sequence[MappedNode],
+    report: TimingReport,
+    wire_model: Optional[WireCapModel],
+    input_arrivals: Dict[str, float],
+    pad_cap: float,
+    wire_cap_per_fanout: float,
+) -> None:
+    for node in order:
         if node.is_pi:
             t = input_arrivals.get(node.name, 0.0)
             report.arrivals[node.name] = ArrivalTimes.at(t)
@@ -197,7 +216,6 @@ def analyze(
         if t >= report.critical_delay:
             report.critical_delay = t
             report.critical_po = po.name
-    return report
 
 
 def critical_path(

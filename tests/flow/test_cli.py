@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 from repro.flow.__main__ import main
+from repro.obs import OBS
 
 
 class TestCli:
@@ -45,3 +47,53 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "delay ns" in out
+
+    def test_report_smoke(self, capsys):
+        assert main(["report", "misex1", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS 2.1 vs Lily" in out
+
+    def test_report_profile(self, capsys):
+        assert main(["report", "misex1", "--no-verify", "--profile"]) == 0
+        out = capsys.readouterr().out
+        # One phase table per pipeline, with phases and counters.
+        assert out.count("=== profile:") == 2
+        assert "decompose" in out
+        assert "dp.states_expanded" in out
+        assert "(phases sum)" in out
+        # The CLI turns the session back off when done.
+        assert not OBS.enabled
+
+    def test_report_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        trace = str(tmp_path / "out.json")
+        assert main(
+            ["report", "misex1", "--no-verify", "--trace", trace]
+        ) == 0
+        assert "trace written" in capsys.readouterr().out
+        with open(trace) as f:
+            doc = json.load(f)
+        events = doc["traceEvents"]
+        # Both flows' root spans plus their phases are present.
+        flows = [e for e in events if e.get("name") == "flow"]
+        assert [e["args"]["mapper"] for e in flows] == ["mis", "lily"]
+        for event in events:
+            assert "ph" in event and "pid" in event and "tid" in event
+        assert not OBS.enabled
+
+    def test_report_trace_unwritable_path_fails_fast(self, tmp_path):
+        bad = str(tmp_path / "no-such-dir" / "out.json")
+        with pytest.raises(SystemExit, match="cannot write trace file"):
+            main(["report", "misex1", "--no-verify", "--trace", bad])
+        # The failed run must not leave the global session enabled.
+        assert not OBS.enabled
+
+    def test_report_profile_and_trace_together(self, capsys, tmp_path):
+        trace = str(tmp_path / "both.json")
+        assert main(
+            ["report", "misex1", "--no-verify", "--profile",
+             "--trace", trace]
+        ) == 0
+        assert "=== profile:" in capsys.readouterr().out
+        with open(trace) as f:
+            assert json.load(f)["traceEvents"]
+        assert not OBS.enabled

@@ -1,0 +1,128 @@
+"""Counter / gauge / histogram semantics and session behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Metrics
+from repro.obs.session import OBS, ObsSession, observed
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        m = Metrics()
+        m.counter("hits").inc()
+        m.counter("hits").inc(4)
+        assert m.counter("hits").value == 5
+
+    def test_counter_rejects_negative(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            m.counter("hits").inc(-1)
+
+    def test_counter_identity_by_name(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+        assert m.counter("a") is not m.counter("b")
+
+    def test_gauge_latest_value(self):
+        m = Metrics()
+        m.gauge("depth").set(3)
+        m.gauge("depth").set(7)
+        assert m.gauge("depth").value == 7
+        m.gauge("depth").add(-2)
+        assert m.gauge("depth").value == 5
+
+    def test_histogram_summary(self):
+        m = Metrics()
+        for v in (2.0, 4.0, 9.0):
+            m.histogram("sizes").observe(v)
+        h = m.histogram("sizes")
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 9.0
+        assert h.mean == 5.0
+        assert h.summary() == {
+            "count": 3, "sum": 15.0, "min": 2.0, "max": 9.0, "mean": 5.0,
+        }
+
+    def test_empty_histogram_summary(self):
+        h = Metrics().histogram("empty")
+        assert h.summary() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_snapshot_counters(self):
+        m = Metrics()
+        m.counter("a").inc(2)
+        before = m.snapshot_counters()
+        m.counter("a").inc(3)
+        m.counter("b").inc()
+        after = m.snapshot_counters()
+        assert after["a"] - before.get("a", 0) == 3
+        assert after["b"] - before.get("b", 0) == 1
+
+    def test_reset(self):
+        m = Metrics()
+        m.counter("a").inc()
+        m.gauge("g").set(1)
+        m.histogram("h").observe(1)
+        m.reset()
+        assert m.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestSession:
+    def test_disabled_span_is_noop(self):
+        session = ObsSession()
+        assert not session.enabled
+        with session.span("anything", key="value") as span:
+            assert span is None
+        assert session.tracer.roots == []
+
+    def test_disabled_spans_share_one_context(self):
+        session = ObsSession()
+        assert session.span("a") is session.span("b")
+
+    def test_enable_records_and_disable_stops(self):
+        session = ObsSession()
+        session.enable()
+        with session.span("work") as span:
+            assert span is not None
+        assert [r.name for r in session.tracer.roots] == ["work"]
+        session.disable()
+        with session.span("more"):
+            pass
+        assert len(session.tracer.roots) == 1
+
+    def test_enable_resets_by_default(self):
+        session = ObsSession()
+        session.enable()
+        session.metrics.counter("x").inc()
+        with session.span("old"):
+            pass
+        session.enable()
+        assert session.metrics.snapshot_counters() == {}
+        assert session.tracer.roots == []
+
+    def test_observed_context_manager(self):
+        session = ObsSession()
+        with observed(session) as s:
+            assert s is session
+            assert s.enabled
+        assert not session.enabled
+
+    def test_global_singleton(self):
+        from repro.obs import get_session
+
+        assert get_session() is OBS
+        assert not OBS.enabled  # tests must leave the singleton off
+
+    def test_annotate(self):
+        session = ObsSession().enable()
+        with session.span("x") as span:
+            session.annotate(span, gates=12)
+        assert span.attrs["gates"] == 12
+        session.annotate(None, ignored=1)  # disabled path: no-op

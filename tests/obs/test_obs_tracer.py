@@ -1,0 +1,149 @@
+"""Span nesting, exclusive-time accounting and trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted tick."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert [s.name for s in outer.walk()] == [
+            "outer", "inner_a", "inner_b", "leaf",
+        ]
+
+    def test_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        a = tracer.roots[0]
+        assert a.depth == 0
+        assert a.children[0].depth == 1
+        assert a.children[0].children[0].depth == 2
+
+    def test_inclusive_and_exclusive_time(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)  # outer exclusive
+            with tracer.span("inner"):
+                clock.advance(3.0)
+            clock.advance(0.5)  # more outer exclusive
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration == 4.5
+        assert inner.duration == 3.0
+        assert outer.exclusive == 1.5
+        assert inner.exclusive == 3.0
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("cover", circuit="c880", mode="area") as span:
+            pass
+        assert span.attrs == {"circuit": "c880", "mode": "area"}
+
+    def test_exception_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.current is None
+        for span in tracer.all_spans():
+            assert span.end is not None
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current is None
+
+
+class TestExport:
+    def _traced(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("flow", circuit="b9"):
+            clock.advance(0.25)
+            with tracer.span("map"):
+                clock.advance(1.0)
+        return tracer
+
+    def test_jsonl_valid_and_complete(self):
+        tracer = self._traced()
+        lines = tracer.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["flow", "map"]
+        flow, mapped = records
+        assert flow["dur_s"] == 1.25
+        assert flow["exclusive_s"] == 0.25
+        assert mapped["depth"] == 1
+        assert flow["attrs"] == {"circuit": "b9"}
+
+    def test_chrome_trace_schema(self):
+        tracer = self._traced()
+        doc = tracer.chrome_trace()
+        assert "traceEvents" in doc
+        events = doc["traceEvents"]
+        meta = events[0]
+        assert meta["ph"] == "M"
+        spans = events[1:]
+        assert [e["name"] for e in spans] == ["flow", "map"]
+        for event in spans:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["pid"] == 1
+            assert event["tid"] == 1
+        # Timestamps are µs since tracer epoch; map starts 0.25s in.
+        assert spans[1]["ts"] == 0.25e6
+        assert spans[1]["dur"] == 1.0e6
+
+    def test_chrome_trace_round_trips_through_json(self, tmp_path):
+        tracer = self._traced()
+        path = str(tmp_path / "trace.json")
+        tracer.write_chrome_trace(path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert len(doc["traceEvents"]) == 3
+
+    def test_non_scalar_attrs_coerced(self):
+        tracer = Tracer()
+        with tracer.span("x", obj=object(), ok=1):
+            pass
+        doc = tracer.chrome_trace()
+        args = doc["traceEvents"][1]["args"]
+        assert args["ok"] == 1
+        assert isinstance(args["obj"], str)
+        json.dumps(doc)  # never raises
