@@ -1,0 +1,82 @@
+"""Compare a fresh perf snapshot against a committed baseline.
+
+Reads a baseline ``BENCH_PR*.json`` (the newest one by PR number unless
+``--baseline`` names a file), runs :mod:`perf_snapshot` on the same
+circuit, and fails if any watched component regressed beyond the
+allowed ratio.  Comparing *ratios* on the same host keeps the check
+meaningful on CI runners whose absolute speed differs from the machine
+that produced the baseline: the fresh run measures every component, so
+a uniformly slower machine cancels out of per-component ratios only if
+we normalise — instead we allow generous slack (default 1.5x) and only
+watch the mapper rows the perf work targets.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+        [--baseline BENCH_PR2.json] [--slack 1.5] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import re
+import sys
+
+from perf_snapshot import snapshot
+
+#: Components the regression gate watches (the mapping hot path).
+WATCHED = ("lily_map", "mis_map")
+
+
+def newest_baseline() -> str:
+    """The committed ``BENCH_PR<n>.json`` with the highest PR number."""
+    best = None
+    best_pr = -1
+    for path in glob.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", path)
+        if m and int(m.group(1)) > best_pr:
+            best_pr = int(m.group(1))
+            best = path
+    if best is None:
+        raise SystemExit("no BENCH_PR*.json baseline found in the cwd")
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="check_perf_regression")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline json (default: newest BENCH_PR*.json)")
+    parser.add_argument("--slack", type=float, default=1.5,
+                        help="max allowed fresh/baseline time ratio")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or newest_baseline()
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    base_timings = baseline["timings_s"]
+
+    fresh = snapshot(baseline["circuit"], args.repeats)
+    failed = False
+    print(f"baseline {baseline_path} (pr {baseline['pr']}, "
+          f"circuit {baseline['circuit']})")
+    for name in WATCHED:
+        if name not in base_timings:
+            print(f"  {name:<20}missing from baseline, skipped")
+            continue
+        ratio = fresh[name] / base_timings[name]
+        verdict = "ok" if ratio <= args.slack else "REGRESSED"
+        failed = failed or ratio > args.slack
+        print(f"  {name:<20}{base_timings[name]:>9.4f}s -> "
+              f"{fresh[name]:>9.4f}s  x{ratio:<6.2f}{verdict}")
+    if failed:
+        print(f"FAIL: a watched component exceeded {args.slack}x baseline")
+        return 1
+    print("all watched components within slack")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,22 @@
 """Machine-readable perf snapshot of the hot components.
 
-Writes ``BENCH_PR1.json`` (or a given path) with best-of-N wall times for
-every component ``test_component_speed.py`` benchmarks, so the repo's
+Writes ``BENCH_PR<n>.json`` (or a given path) with best-of-N wall times
+for every component ``test_component_speed.py`` benchmarks, so the repo's
 perf trajectory is tracked as a committed artifact from PR 1 onward.
-Later PRs add ``BENCH_PR<n>.json`` next to it and compare.
+Every snapshot uses the same schema and timing names, so any two
+``BENCH_PR*.json`` files are directly comparable
+(``check_perf_regression.py`` automates the comparison).
+
+The mapper rows (``mis_map``, ``lily_map``) run whatever the *default*
+mapper configuration is — from PR 2 on that includes the ``repro.perf``
+fast paths, which is exactly the point: the artifact records what a user
+gets out of the box.  ``--jobs`` additionally enables the parallel cone
+match pre-warm for the mapper rows.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--circuit C880] [--repeats 3]
+        [--pr 2] [--circuit C880] [--repeats 3] [--jobs 1]
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.map.mis import MisAreaMapper
 from repro.match.treematch import Matcher
 from repro.network.decompose import decompose_to_subject
 from repro.obs import OBS, observed
+from repro.perf import PerfOptions
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import subject_netlist
 from repro.place.pads import assign_pads
@@ -45,9 +54,12 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
-def snapshot(circuit: str = "C880", repeats: int = 3) -> Dict[str, float]:
+def snapshot(
+    circuit: str = "C880", repeats: int = 3, jobs: int = 1
+) -> Dict[str, float]:
     """Best-of-``repeats`` seconds per component, observability off."""
     assert not OBS.enabled
+    perf = PerfOptions().with_jobs(jobs)
     net = build_circuit(circuit)
     library = big_library()
     patterns = pattern_set_for(library)  # warm the pattern cache
@@ -74,10 +86,10 @@ def snapshot(circuit: str = "C880", repeats: int = 3) -> Dict[str, float]:
         ),
         "left_edge": _best_of(lambda: left_edge_route(intervals), repeats),
         "mis_map": _best_of(
-            lambda: MisAreaMapper(library).map(subject), repeats
+            lambda: MisAreaMapper(library, perf=perf).map(subject), repeats
         ),
         "lily_map": _best_of(
-            lambda: LilyAreaMapper(library).map(subject),
+            lambda: LilyAreaMapper(library, perf=perf).map(subject),
             max(1, repeats - 1),
         ),
         "sta": _best_of(lambda: analyze(mapped, wire_model=None), repeats),
@@ -94,23 +106,30 @@ def snapshot(circuit: str = "C880", repeats: int = 3) -> Dict[str, float]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
-    parser.add_argument("out", nargs="?", default="BENCH_PR1.json")
+    parser.add_argument("out", nargs="?", default=None,
+                        help="output path (default BENCH_PR<n>.json)")
+    parser.add_argument("--pr", type=int, default=2,
+                        help="PR number stamped into the artifact")
     parser.add_argument("--circuit", default="C880")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="threads for the parallel cone match pre-warm "
+                             "in the mapper rows")
     args = parser.parse_args(argv)
+    out = args.out or f"BENCH_PR{args.pr}.json"
 
-    timings = snapshot(args.circuit, args.repeats)
+    timings = snapshot(args.circuit, args.repeats, jobs=args.jobs)
     doc = {
-        "pr": 1,
+        "pr": args.pr,
         "circuit": args.circuit,
         "repeats": args.repeats,
         "python": platform.python_version(),
         "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
     }
-    with open(args.out, "w") as f:
+    with open(out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     for name, seconds in sorted(timings.items()):
         print(f"  {name:<20}{seconds:>10.4f}s")
     return 0

@@ -26,7 +26,7 @@ from repro.core.position import cm_of_fans, cm_of_merged
 from repro.core.rectangles import fanin_rectangle, fanout_rectangle, true_fanouts
 from repro.core.state import PlacementState
 from repro.core.wirecost import match_wire_cost
-from repro.geometry import Point, Rect
+from repro.geometry import Point, Rect, _median
 from repro.library.cell import Library
 from repro.map.base import BaseMapper, Solution
 from repro.map.lifecycle import NodeState
@@ -34,10 +34,12 @@ from repro.map.netlist import MappedNode
 from repro.match.treematch import Match
 from repro.network.subject import SubjectGraph, SubjectNode
 from repro.obs import OBS
+from repro.perf.netcache import NetCache
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import subject_netlist
 from repro.place.pads import assign_pads
 from repro.place.quadratic import solve_quadratic
+from repro.route.wirelength import chung_hwang_factor
 from repro.timing.model import WireCapModel
 
 __all__ = ["LilyOptions", "LilyAreaMapper", "LilyDelayMapper"]
@@ -91,10 +93,15 @@ class _LilyMixin:
         self.state: Optional[PlacementState] = None
         self._cones_since_replacement = 0
         #: True-fanout cache, valid for one cone's DP pass (life-cycle
-        #: states only change at commit time, after the pass).
+        #: states only change at commit time, after the pass).  Replaced
+        #: by the cross-cone :class:`NetCache` when
+        #: ``perf.incremental_nets`` is on.
         self._tf_cache: Dict[int, List[SubjectNode]] = {}
+        self._netcache: Optional[NetCache] = None
 
     def _true_fanouts(self, node: SubjectNode) -> List[SubjectNode]:
+        if self._netcache is not None:
+            return self._netcache.consumers(node)
         cached = self._tf_cache.get(node.uid)
         if cached is None:
             cached = true_fanouts(node, self.lifecycle)
@@ -102,7 +109,8 @@ class _LilyMixin:
         return cached
 
     def on_cone_begin(self, po: SubjectNode) -> None:
-        self._tf_cache.clear()
+        if self._netcache is None:
+            self._tf_cache.clear()
 
     # -- global placement of the inchoate network (Section 3.1) -------------
 
@@ -121,6 +129,8 @@ class _LilyMixin:
         self.state.bind(subject)
         self.placement_region = region
         self.pad_positions = pads
+        if self.perf.incremental_nets:
+            self._netcache = NetCache(self.state, self.lifecycle)
 
     # -- incremental updating (Section 3.2) -----------------------------------
 
@@ -173,6 +183,14 @@ class _LilyMixin:
     ) -> None:
         if instance.position is not None:
             self.state.set_map_position(node, instance.position)
+        cache = self._netcache
+        if cache is not None:
+            # The root became a hawk (with a fresh map position) and the
+            # inner nodes became doves: drop the net entries that saw them.
+            cache.invalidate(node)
+            if solution.match is not None:
+                for inner in solution.match.inner:
+                    cache.invalidate(inner)
 
     def on_cone_done(self, po: SubjectNode) -> None:
         interval = self.options.replace_interval
@@ -209,6 +227,8 @@ class _LilyMixin:
                 p = positions.get(node.name)
                 if p is not None:
                     self.state.set_place_position(node, p)
+        if self._netcache is not None:
+            self._netcache.clear()  # every gate may have moved
 
 
 class LilyAreaMapper(_LilyMixin, BaseMapper):
@@ -234,6 +254,12 @@ class LilyAreaMapper(_LilyMixin, BaseMapper):
     def evaluate_match(
         self, node: SubjectNode, match: Match, inputs: Sequence[Solution]
     ) -> Solution:
+        if (
+            self._netcache is not None
+            and self.options.wire_model == "halfperim"
+            and self.options.position_update == "cm_of_fans"
+        ):
+            return self._evaluate_fast(node, match, inputs)
         position = self._tentative_position(node, match, inputs)
         input_positions = [
             self._input_position(v, inputs[i])
@@ -248,6 +274,103 @@ class LilyAreaMapper(_LilyMixin, BaseMapper):
             model=self.options.wire_model,
             consumers_of=self._true_fanouts,
         )
+        area = match.cell.area + sum(s.area for s in inputs)
+        wire = wire_increment + sum(s.wire for s in inputs)
+        cost = area + self.options.wire_weight * wire
+        return Solution(
+            node, match, cost=cost, area=area, wire=wire, position=position
+        )
+
+    def _evaluate_fast(
+        self, node: SubjectNode, match: Match, inputs: Sequence[Solution]
+    ) -> Solution:
+        """The halfperim/CM-of-Fans cost, on cached net data.
+
+        Bit-identical to the naive path: each input's fanin rectangle is
+        the min/max fold of the cached pin points (min/max are
+        order-independent), the wire rectangle is the same rectangle
+        extended by the gate position (exactly ``extra_point``), and all
+        summations run in the same order.  Asserted by the golden-
+        equivalence tests.
+        """
+        if OBS.enabled:
+            OBS.metrics.counter("lily.position_evals").inc()
+        cache = self._netcache
+        covered = match.covered
+        covered_uids = {n.uid for n in covered}
+        #: Per non-constant input: (lx, ly, ux, uy, len(remaining)).
+        folds = []
+        for index, fanin in enumerate(match.inputs):
+            if fanin.is_constant:
+                continue
+            _, uids, xs, ys = cache.entry(fanin)
+            fp = self._input_position(fanin, inputs[index])
+            lx = ux = fp.x
+            ly = uy = fp.y
+            remaining = 0
+            for uid, x, y in zip(uids, xs, ys):
+                if uid in covered_uids:
+                    continue
+                remaining += 1
+                if x < lx:
+                    lx = x
+                elif x > ux:
+                    ux = x
+                if y < ly:
+                    ly = y
+                elif y > uy:
+                    uy = y
+            folds.append((lx, ly, ux, uy, remaining))
+        # Output-net rectangle over the cached direct-fanout points.
+        out_uids, out_xs, out_ys = cache.out_entry(node)
+        have_out = False
+        olx = oly = oux = ouy = 0.0
+        for uid, x, y in zip(out_uids, out_xs, out_ys):
+            if uid in covered_uids:
+                continue
+            if not have_out:
+                have_out = True
+                olx = oux = x
+                oly = ouy = y
+                continue
+            if x < olx:
+                olx = x
+            elif x > oux:
+                oux = x
+            if y < oly:
+                oly = y
+            elif y > ouy:
+                ouy = y
+        if not folds and not have_out:
+            position = cm_of_merged(covered, self.state)
+        elif self.options.norm == "manhattan":
+            # Inlined optimal_point_manhattan: median over the corner
+            # coordinates of all fan rectangles.
+            mxs: List[float] = []
+            mys: List[float] = []
+            for lx, ly, ux, uy, _ in folds:
+                mxs.append(lx)
+                mxs.append(ux)
+                mys.append(ly)
+                mys.append(uy)
+            if have_out:
+                mxs.append(olx)
+                mxs.append(oux)
+                mys.append(oly)
+                mys.append(ouy)
+            position = Point(_median(mxs), _median(mys))
+        else:
+            rects = [Rect(lx, ly, ux, uy) for lx, ly, ux, uy, _ in folds]
+            out_rect = Rect(olx, oly, oux, ouy) if have_out else None
+            position = cm_of_fans(rects, out_rect, norm=self.options.norm)
+        gx, gy = position.x, position.y
+        wire_increment = 0.0
+        for lx, ly, ux, uy, remaining in folds:
+            width = (ux if ux > gx else gx) - (lx if lx < gx else gx)
+            height = (uy if uy > gy else gy) - (ly if ly < gy else gy)
+            wire_increment += (
+                (width + height) * chung_hwang_factor(remaining + 2)
+            ) / (remaining + 1)
         area = match.cell.area + sum(s.area for s in inputs)
         wire = wire_increment + sum(s.wire for s in inputs)
         cost = area + self.options.wire_weight * wire

@@ -39,22 +39,36 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", default=None, metavar="OUT.JSON",
                         help="write a Chrome trace_event JSON file loadable "
                              "in chrome://tracing or Perfetto (report only)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for the parallel cone match "
+                             "pre-warm (default 1: in-process)")
+    parser.add_argument("--naive-perf", action="store_true",
+                        help="disable the mapper fast paths (match "
+                             "memoization, pattern index, net cache); "
+                             "results are identical, just slower")
     args = parser.parse_args(argv)
+
+    from repro.perf import PerfOptions
+
+    perf = PerfOptions.naive() if args.naive_perf else PerfOptions()
+    perf = perf.with_jobs(args.jobs)
 
     circuits = args.circuits or None
     verify = not args.no_verify
     if args.command == "table1":
-        rows = run_table1(circuits, scale=args.scale, verify=verify)
+        rows = run_table1(circuits, scale=args.scale, verify=verify,
+                          perf=perf)
         print(format_table1(rows))
     elif args.command == "table2":
-        rows = run_table2(circuits, scale=args.scale, verify=verify)
+        rows = run_table2(circuits, scale=args.scale, verify=verify,
+                          perf=perf)
         print(format_table2(rows))
     else:
-        _report(args, verify)
+        _report(args, verify, perf)
     return 0
 
 
-def _report(args, verify: bool) -> None:
+def _report(args, verify: bool, perf) -> None:
     from repro.circuits.suite import build_circuit
     from repro.flow.pipeline import lily_flow, mis_flow
     from repro.flow.report import circuit_report, comparison_report
@@ -77,8 +91,10 @@ def _report(args, verify: bool) -> None:
     try:
         for name in args.circuits:
             net = build_circuit(name, scale=args.scale)
-            mis = mis_flow(net, library, mode=args.mode, verify=verify)
-            lily = lily_flow(net, library, mode=args.mode, verify=verify)
+            mis = mis_flow(net, library, mode=args.mode, verify=verify,
+                           perf=perf)
+            lily = lily_flow(net, library, mode=args.mode, verify=verify,
+                             perf=perf)
             print(comparison_report(mis, lily))
             print()
             print(circuit_report(lily))

@@ -29,6 +29,7 @@ from repro.network.decompose import decompose_to_subject
 from repro.network.network import Network
 from repro.network.simulate import networks_equivalent
 from repro.obs import OBS, ObsReport, build_report
+from repro.perf import PerfOptions
 from repro.place.detailed import DetailedPlacement, detailed_place
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import mapped_netlist
@@ -174,8 +175,14 @@ def mis_flow(
     mode: str = "area",
     wire_model: Optional[WireCapModel] = None,
     verify: bool = True,
+    perf: Optional[PerfOptions] = None,
 ) -> FlowResult:
-    """Pipeline 1: MIS mapping, layout afterwards."""
+    """Pipeline 1: MIS mapping, layout afterwards.
+
+    ``perf`` selects the mapper's fast-path configuration (memoization,
+    pattern indexing, net caching, ``jobs``); the default enables every
+    cache single-threaded.  Results are bit-identical across settings.
+    """
     start = perf_counter()
     counters_before = (
         OBS.metrics.snapshot_counters() if OBS.enabled else None
@@ -189,9 +196,9 @@ def mis_flow(
         # process pays it here, so it gets its own phase row.
         with OBS.span("patterns"):
             if mode == "area":
-                mapper = MisAreaMapper(library)
+                mapper = MisAreaMapper(library, perf=perf)
             else:
-                mapper = MisDelayMapper(library)
+                mapper = MisDelayMapper(library, perf=perf)
         with OBS.span("map", gates=len(subject.gates)):
             result = mapper.map(subject)
         with OBS.span("pads"):
@@ -223,6 +230,7 @@ def lily_flow(
     verify: bool = True,
     seed_backend_from_mapper: bool = False,
     layout_driven_decomposition: bool = False,
+    perf: Optional[PerfOptions] = None,
 ) -> FlowResult:
     """Pipeline 2: pads first, Lily mapping, same layout back-end.
 
@@ -231,6 +239,8 @@ def lily_flow(
     decomposition"): the source network is quickly placed against the pads
     and each node's decomposition tree is built proximity-first, so nearby
     signals enter each tree at topologically-near points (Figure 1.1b).
+
+    ``perf`` works exactly as in :func:`mis_flow`.
     """
     start = perf_counter()
     counters_before = (
@@ -261,7 +271,7 @@ def lily_flow(
             if mode == "area":
                 mapper = LilyAreaMapper(
                     library, options=options, region=region,
-                    pad_positions=subject_pads
+                    pad_positions=subject_pads, perf=perf
                 )
             else:
                 mapper = LilyDelayMapper(
@@ -270,6 +280,7 @@ def lily_flow(
                     region=region,
                     pad_positions=subject_pads,
                     wire_cap=wire_model,
+                    perf=perf,
                 )
         with OBS.span("map", gates=len(subject.gates)):
             result = mapper.map(subject)

@@ -19,6 +19,7 @@ from repro.core.lily import LilyOptions
 from repro.flow.pipeline import FlowResult, lily_flow, mis_flow
 from repro.library.cell import Library
 from repro.library.standard import big_library, scale_library
+from repro.perf import PerfOptions
 from repro.timing.model import WireCapModel
 
 __all__ = [
@@ -82,15 +83,16 @@ def run_table1(
     library: Optional[Library] = None,
     options: Optional[LilyOptions] = None,
     verify: bool = True,
+    perf: Optional[PerfOptions] = None,
 ) -> List[Table1Row]:
     """Regenerate Table 1 over the named circuits."""
     library = library or big_library()
     rows: List[Table1Row] = []
     for name in circuits or TABLE1_CIRCUITS:
         net = build_circuit(name, scale=scale)
-        mis = mis_flow(net, library, mode="area", verify=verify)
+        mis = mis_flow(net, library, mode="area", verify=verify, perf=perf)
         lily = lily_flow(net, library, mode="area", options=options,
-                         verify=verify)
+                         verify=verify, perf=perf)
         rows.append(
             Table1Row(
                 name,
@@ -113,6 +115,7 @@ def run_table2(
     library: Optional[Library] = None,
     options: Optional[LilyOptions] = None,
     verify: bool = True,
+    perf: Optional[PerfOptions] = None,
 ) -> List[Table2Row]:
     """Regenerate Table 2 over the named circuits.
 
@@ -131,9 +134,9 @@ def run_table2(
     for name in circuits or TABLE2_CIRCUITS:
         net = build_circuit(name, scale=scale)
         mis = mis_flow(net, library, mode="timing", wire_model=wire_model,
-                       verify=verify)
+                       verify=verify, perf=perf)
         lily = lily_flow(net, library, mode="timing", options=options,
-                         wire_model=wire_model, verify=verify)
+                         wire_model=wire_model, verify=verify, perf=perf)
         rows.append(
             Table2Row(
                 name,

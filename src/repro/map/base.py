@@ -31,6 +31,9 @@ from repro.map.netlist import MappedNetwork, MappedNode
 from repro.match.treematch import Match, Matcher
 from repro.network.subject import SubjectGraph, SubjectNode
 from repro.obs import OBS
+from repro.perf.memomatch import MemoMatcher
+from repro.perf.options import PerfOptions
+from repro.perf.parallel import prewarm_match_cache
 
 __all__ = ["Solution", "MapResult", "BaseMapper", "NoMatchError"]
 
@@ -87,6 +90,9 @@ class BaseMapper:
             (no match may cross a multi-fanout stem).
         use_cone_ordering: process cones in the Section 3.5 order instead
             of declaration order.
+        perf: hot-path optimization switches (:class:`PerfOptions`);
+            defaults to all caches on, one job.  Every setting maps
+            bit-identically to the naive paths.
     """
 
     def __init__(
@@ -95,11 +101,21 @@ class BaseMapper:
         tree_mode: bool = False,
         use_cone_ordering: bool = False,
         matcher=None,
+        perf: Optional[PerfOptions] = None,
     ) -> None:
         self.library = library
         self.patterns = pattern_set_for(library)
+        self.perf = perf if perf is not None else PerfOptions()
         if matcher is None:
-            matcher = Matcher(self.patterns, tree_mode=tree_mode)
+            if self.perf.memoize_matches or self.perf.index_patterns:
+                matcher = MemoMatcher(
+                    self.patterns,
+                    tree_mode=tree_mode,
+                    memoize=self.perf.memoize_matches,
+                    index=self.perf.index_patterns,
+                )
+            else:
+                matcher = Matcher(self.patterns, tree_mode=tree_mode)
         self.matcher = matcher
         self.tree_mode = tree_mode
         self.use_cone_ordering = use_cone_ordering
@@ -180,6 +196,8 @@ class BaseMapper:
             bind(subject)
         cones = logic_cones(subject)
         order = self.cone_sequence(subject, cones)
+        if self.perf.jobs > 1:
+            prewarm_match_cache(self, cones, order, self.perf.jobs)
         self.on_begin(subject)
         for index in order:
             po, cone = cones[index]

@@ -135,9 +135,16 @@ class Matcher:
         kind = _KIND_FOR_TYPE.get(snode.type)
         if kind is None:
             return []
+        return self._enumerate(snode, self.patterns.rooted_at(kind))
+
+    def _enumerate(
+        self, snode: SubjectNode, candidates: Sequence[CellPattern]
+    ) -> List[Match]:
+        """Try ``candidates`` at ``snode``; order follows the candidate
+        list, so a filtered-but-complete candidate subset yields exactly
+        the full-library match list."""
         found: List[Match] = []
         seen: Set[tuple] = set()
-        candidates = self.patterns.rooted_at(kind)
         observing = OBS.enabled
         if observing:
             OBS.metrics.counter("match.calls").inc()

@@ -1,23 +1,34 @@
 """Nestable wall-clock spans with Chrome ``trace_event`` export.
 
-The tracer keeps a stack of open :class:`Span` objects; ``with
-tracer.span("cover", circuit=name):`` opens a child of whatever span is
-currently open.  Every span records inclusive wall time on the monotonic
-``time.perf_counter`` clock (the same clock the flow's ``runtime_s``
-uses), and *exclusive* time — inclusive minus the inclusive time of its
-direct children — falls out at read time.
+The tracer keeps a stack of open :class:`Span` objects *per thread*;
+``with tracer.span("cover", circuit=name):`` opens a child of whatever
+span the calling thread currently has open.  Every span records
+inclusive wall time on the monotonic ``time.perf_counter`` clock (the
+same clock the flow's ``runtime_s`` uses), and *exclusive* time —
+inclusive minus the inclusive time of its direct **same-thread**
+children — falls out at read time.
+
+Worker threads (the ``--jobs N`` match prewarm) either start their own
+root spans or attach under an explicit parent via
+``tracer.span_in(parent, ...)``; cross-thread child appends are
+serialised by a lock.  Children recorded from another thread run
+*concurrently* with their parent, so they are excluded from the parent's
+exclusive time — subtracting them would drive it negative and corrupt
+the ``--profile`` phase table.
 
 Two export formats:
 
 * :meth:`Tracer.to_jsonl` — one JSON object per span per line, handy for
   ad-hoc grepping and for diffing runs.
 * :meth:`Tracer.chrome_trace` — the Chrome ``trace_event`` "X" (complete
-  event) format, loadable in ``chrome://tracing`` or Perfetto.
+  event) format, loadable in ``chrome://tracing`` or Perfetto.  Thread
+  idents are renumbered to small track ids (first-seen thread = 1).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -27,16 +38,18 @@ __all__ = ["Span", "Tracer"]
 class Span:
     """One timed region; children are spans opened while it was open."""
 
-    __slots__ = ("name", "attrs", "start", "end", "children", "depth")
+    __slots__ = ("name", "attrs", "start", "end", "children", "depth", "tid")
 
     def __init__(self, name: str, attrs: Dict[str, Any], start: float,
-                 depth: int) -> None:
+                 depth: int, tid: int = 0) -> None:
         self.name = name
         self.attrs = attrs
         self.start = start
         self.end: Optional[float] = None
         self.children: List["Span"] = []
         self.depth = depth
+        #: ``threading.get_ident()`` of the recording thread.
+        self.tid = tid
 
     @property
     def duration(self) -> float:
@@ -47,8 +60,15 @@ class Span:
 
     @property
     def exclusive(self) -> float:
-        """Inclusive time minus the inclusive time of direct children."""
-        return self.duration - sum(c.duration for c in self.children)
+        """Inclusive time minus the inclusive time of direct children.
+
+        Only same-thread children are subtracted: a child recorded from
+        another thread ran concurrently, not inside this span's wall
+        time.
+        """
+        return self.duration - sum(
+            c.duration for c in self.children if c.tid == self.tid
+        )
 
     def walk(self) -> Iterator["Span"]:
         """This span and all descendants, pre-order."""
@@ -63,17 +83,18 @@ class Span:
 class _SpanContext:
     """Context manager opening/closing one span on the tracer stack."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+    __slots__ = ("_tracer", "_name", "_attrs", "_parent", "_span")
 
-    def __init__(self, tracer: "Tracer", name: str,
-                 attrs: Dict[str, Any]) -> None:
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any],
+                 parent: Optional[Span] = None) -> None:
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
+        self._parent = parent
         self._span: Optional[Span] = None
 
     def __enter__(self) -> Span:
-        self._span = self._tracer._open(self._name, self._attrs)
+        self._span = self._tracer._open(self._name, self._attrs, self._parent)
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -92,8 +113,16 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self.epoch = clock()
+
+    def _stack(self) -> List[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording ----------------------------------------------------------
 
@@ -101,34 +130,60 @@ class Tracer:
         """Open a nested span for the duration of a ``with`` block."""
         return _SpanContext(self, name, attrs)
 
-    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
-        span = Span(name, attrs, self.clock(), depth=len(self._stack))
-        if self._stack:
-            self._stack[-1].children.append(span)
+    def span_in(self, parent: Optional[Span], name: str,
+                **attrs: Any) -> _SpanContext:
+        """Open a span attached under an explicit ``parent`` span.
+
+        The bridge for worker threads: the thread's own stack is empty,
+        so a plain :meth:`span` would start a new root; ``span_in``
+        parents it under a span owned by another thread instead (the
+        append is lock-protected).  With a non-empty local stack, or a
+        ``None`` parent, this degrades to :meth:`span`.
+        """
+        return _SpanContext(self, name, attrs, parent)
+
+    def _open(self, name: str, attrs: Dict[str, Any],
+              parent: Optional[Span] = None) -> Span:
+        stack = self._stack()
+        span = Span(name, attrs, self.clock(), depth=0,
+                    tid=threading.get_ident())
+        if stack:
+            span.depth = len(stack)
+            stack[-1].children.append(span)
+        elif parent is not None:
+            span.depth = parent.depth + 1
+            with self._lock:
+                parent.children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span) -> None:
         span.end = self.clock()
         # Tolerate mismatched closes (a span leaked by an exception in a
         # hook): unwind to the span being closed.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             if top.end is None:
                 top.end = span.end
 
     def reset(self) -> None:
-        self.roots = []
-        self._stack = []
+        """Drop all recorded spans (only the calling thread may have
+        spans still open; workers must have been joined)."""
+        with self._lock:
+            self.roots = []
+        self._local.stack = []
         self.epoch = self.clock()
 
     @property
     def current(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def all_spans(self) -> Iterator[Span]:
         for root in self.roots:
@@ -153,7 +208,12 @@ class Tracer:
         )
 
     def chrome_events(self, pid: int = 1, tid: int = 1) -> List[Dict[str, Any]]:
-        """Chrome ``trace_event`` complete ("X") events, timestamps in µs."""
+        """Chrome ``trace_event`` complete ("X") events, timestamps in µs.
+
+        Thread idents are renumbered in first-seen (document) order
+        starting from ``tid``, so a single-threaded trace sits entirely
+        on track ``tid``.
+        """
         events: List[Dict[str, Any]] = [
             {
                 "ph": "M",
@@ -163,7 +223,11 @@ class Tracer:
                 "args": {"name": "repro"},
             }
         ]
+        track_of: Dict[int, int] = {}
         for span in self.all_spans():
+            track = track_of.get(span.tid)
+            if track is None:
+                track = track_of[span.tid] = tid + len(track_of)
             events.append(
                 {
                     "name": span.name,
@@ -171,7 +235,7 @@ class Tracer:
                     "ts": (span.start - self.epoch) * 1e6,
                     "dur": span.duration * 1e6,
                     "pid": pid,
-                    "tid": tid,
+                    "tid": track,
                     "args": _jsonable(span.attrs),
                 }
             )

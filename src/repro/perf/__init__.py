@@ -1,0 +1,54 @@
+"""Hot-path optimization layer for the mapping stack.
+
+Four independent, individually-switchable techniques (see ``PerfOptions``):
+
+* **match memoization** (:mod:`repro.perf.memomatch`) — structural matches
+  depend only on the truncated fanin DAG below a node, so nodes with equal
+  canonical subtree signatures share one memoized match list;
+* **pattern indexing** (:mod:`repro.perf.patindex`) — the pattern set is
+  pre-bucketed by root/child base-function kinds and required gate height,
+  so the matcher tries only plausible patterns;
+* **incremental net caching** (:mod:`repro.perf.netcache`) — per-net
+  true-fanout lists and pin points are cached across cones and invalidated
+  by delta on commit instead of recomputed from scratch per candidate;
+* **parallel cone mapping** (:mod:`repro.perf.parallel`) — an opt-in
+  ``concurrent.futures`` executor pre-computes the per-cone match lists in
+  parallel with a deterministic merge order.
+
+Every path is bit-identical to the naive one it replaces (asserted by the
+golden-equivalence tests) and reports cache hit/miss counters through
+``repro.obs`` (visible in ``report --profile``).
+"""
+
+import importlib
+
+from repro.perf.options import PerfOptions
+from repro.perf.signature import subtree_signature
+
+__all__ = [
+    "PerfOptions",
+    "subtree_signature",
+    "PatternIndex",
+    "MemoMatcher",
+    "NetCache",
+    "prewarm_match_cache",
+]
+
+# The heavier members live in submodules that import from repro.map /
+# repro.core; loading them here eagerly would close an import cycle
+# (map.base -> repro.perf -> netcache -> repro.map).  PEP 562 lazy
+# attributes keep `from repro.perf import NetCache` working regardless
+# of which package loads first.
+_LAZY = {
+    "PatternIndex": "repro.perf.patindex",
+    "MemoMatcher": "repro.perf.memomatch",
+    "NetCache": "repro.perf.netcache",
+    "prewarm_match_cache": "repro.perf.parallel",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module), name)

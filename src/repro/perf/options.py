@@ -1,0 +1,48 @@
+"""Switches for the ``repro.perf`` optimization layer.
+
+All caches default to *on* — they are bit-identical to the naive paths —
+while parallel mapping defaults to one job (the executor is opt-in via
+``--jobs N`` on the CLI).  ``PerfOptions.naive()`` turns everything off;
+the golden-equivalence tests map every circuit both ways and assert the
+results are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PerfOptions"]
+
+
+@dataclass(frozen=True)
+class PerfOptions:
+    """Tuning switches of the mapping hot path.
+
+    Attributes:
+        memoize_matches: share match lists between subject nodes with equal
+            canonical subtree signatures.
+        index_patterns: prune candidate patterns with the root/child-kind
+            and gate-height index instead of trying the full library.
+        incremental_nets: cache per-net true-fanout lists and pin points
+            with delta invalidation on commit (Lily cost hooks).
+        jobs: worker threads for the parallel per-cone match prewarm
+            (1 = sequential; results are identical for any value).
+    """
+
+    memoize_matches: bool = True
+    index_patterns: bool = True
+    incremental_nets: bool = True
+    jobs: int = 1
+
+    @staticmethod
+    def naive() -> "PerfOptions":
+        """Every optimization off — the reference paths."""
+        return PerfOptions(
+            memoize_matches=False,
+            index_patterns=False,
+            incremental_nets=False,
+            jobs=1,
+        )
+
+    def with_jobs(self, jobs: int) -> "PerfOptions":
+        return replace(self, jobs=max(1, int(jobs)))

@@ -1,0 +1,113 @@
+"""Signature-prefix pattern indexing for the structural matcher.
+
+``Matcher.matches_at`` tries every pattern rooted at the node's base
+function; most fail within a step or two because the pattern's *children*
+demand gate kinds the subject node's fanins don't have.  The index
+pre-buckets the pattern set by the depth-1 signature prefix — the
+(commutative) multiset of fanin kinds a subject node presents — and tags
+each pattern with its required gate height, so a query returns only the
+patterns whose first level is compatible and whose interior tree can
+possibly embed below the node.
+
+Filtering is conservative (a pruned pattern provably cannot match) and
+order-preserving (survivors keep the pattern set's declaration order), so
+the matcher's output — including its order, which DP tie-breaking sees —
+is bit-identical with and without the index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.library.patterns import (
+    CellPattern,
+    PatternKind,
+    PatternNode,
+    PatternSet,
+)
+from repro.network.subject import SubjectNode, SubjectNodeType
+
+__all__ = ["PatternIndex", "interior_height"]
+
+#: Child-kind codes: gate kinds must match exactly, anything else is a
+#: leaf-only binding site.
+_KIND_CODE = {
+    SubjectNodeType.NAND2: "N",
+    SubjectNodeType.INV: "I",
+}
+
+_PATTERN_CODE = {
+    PatternKind.NAND2: "N",
+    PatternKind.INV: "I",
+    PatternKind.LEAF: "L",
+}
+
+
+def interior_height(node: PatternNode) -> int:
+    """Number of gate levels on the pattern's deepest interior path.
+
+    A subject node can host the pattern only if its own gate height (gate
+    levels below it, inclusive) is at least this.
+    """
+    if node.kind is PatternKind.LEAF:
+        return 0
+    return 1 + max(interior_height(c) for c in node.children)
+
+
+def _compatible(required: str, actual: str) -> bool:
+    """A pattern child of kind ``required`` can anchor at a subject fanin
+    of kind ``actual`` (``L`` binds anything)."""
+    return required == "L" or required == actual
+
+
+class PatternIndex:
+    """Depth-1-prefix + gate-height buckets over a :class:`PatternSet`."""
+
+    def __init__(self, patterns: PatternSet) -> None:
+        self.patterns = patterns
+        #: INV-rooted: subject fanin kind -> [(pattern, required_height)].
+        self._inv: Dict[str, List[Tuple[CellPattern, int]]] = {
+            k: [] for k in "NIX"
+        }
+        #: NAND-rooted: sorted subject fanin kind pair -> same.
+        self._nand: Dict[Tuple[str, str], List[Tuple[CellPattern, int]]] = {}
+        for a in "NIX":
+            for b in "NIX":
+                if a <= b:
+                    self._nand[(a, b)] = []
+        for pattern in patterns.rooted_at(PatternKind.INV):
+            entry = (pattern, interior_height(pattern.root))
+            required = _PATTERN_CODE[pattern.root.children[0].kind]
+            for actual in "NIX":
+                if _compatible(required, actual):
+                    self._inv[actual].append(entry)
+        for pattern in patterns.rooted_at(PatternKind.NAND2):
+            entry = (pattern, interior_height(pattern.root))
+            ra, rb = (
+                _PATTERN_CODE[c.kind] for c in pattern.root.children
+            )
+            for key in self._nand:
+                ka, kb = key
+                if (_compatible(ra, ka) and _compatible(rb, kb)) or (
+                    _compatible(ra, kb) and _compatible(rb, ka)
+                ):
+                    self._nand[key].append(entry)
+
+    def candidates(
+        self, snode: SubjectNode, gate_height: int
+    ) -> List[CellPattern]:
+        """Patterns that could possibly anchor at ``snode``.
+
+        ``gate_height`` is the subject node's gate height — 1 + the max
+        gate height over gate fanins (non-gates count 0).
+        """
+        if snode.type is SubjectNodeType.INV:
+            bucket = self._inv[_KIND_CODE.get(snode.fanins[0].type, "X")]
+        elif snode.type is SubjectNodeType.NAND2:
+            ka, kb = (
+                _KIND_CODE.get(f.type, "X") for f in snode.fanins
+            )
+            bucket = self._nand[(ka, kb) if ka <= kb else (kb, ka)]
+        else:
+            return []
+        return [p for p, h in bucket if h <= gate_height]

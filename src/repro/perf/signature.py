@@ -1,0 +1,105 @@
+"""Canonical truncated-subtree signatures for match memoization.
+
+The structural matcher explores the fanin DAG below a subject node to at
+most the deepest pattern's depth.  Everything it can observe down there —
+node types, fanin order, node *identity* (shared subtrees, repeated leaf
+bindings) and, in tree mode, whether a node is a multi-fanout stem — is
+captured by an order-sensitive preorder encoding of the truncated DAG.
+Two nodes with equal signatures therefore have isomorphic match lists,
+related by the signature's first-visit node enumeration; the memoized
+matcher stores match *templates* against the signature and re-binds them
+to the concrete nodes of each new root.
+
+Truncation is by *minimum* depth from the root (a BFS pre-pass), not by
+the depth of the preorder walk's first arrival: with reconvergent fanin
+a node can first appear on a long path (beyond the horizon) and later on
+a short one, where the matcher does descend into its fanins.  Expanding
+every node whose shortest path lies inside the horizon covers all fanin
+inspections any pattern can make.
+
+The encoding is deliberately order-sensitive (no commutative
+canonicalisation): a NAND with swapped fanins gets a different signature.
+That costs some hit rate but makes the template correspondence a plain
+index mapping, with no permutation bookkeeping to get wrong.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.subject import SubjectNode
+
+__all__ = ["subtree_signature", "DEFAULT_NODE_BUDGET"]
+
+#: Signatures enumerating more than this many DAG entries are abandoned
+#: (pathologically reconvergent fanin; the naive matcher is used instead).
+DEFAULT_NODE_BUDGET = 256
+
+
+def subtree_signature(
+    node: SubjectNode,
+    depth: int,
+    tree_mode: bool = False,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> Tuple[Optional[tuple], List[SubjectNode]]:
+    """Signature of the fanin DAG below ``node``, truncated at ``depth``.
+
+    Returns ``(signature, nodes)`` where ``nodes`` is the first-visit
+    enumeration of every subject node the encoding touched — the
+    correspondence used to re-bind memoized match templates.  Returns
+    ``(None, [])`` when the enumeration exceeds ``budget`` entries.
+
+    Args:
+        node: prospective match root.
+        depth: exploration depth — the maximum pattern-tree depth.  A
+            pattern interior node sits at depth < ``depth``, so a gate is
+            expanded iff its min depth from the root is < ``depth``;
+            everything else (and every non-gate) appears as an opaque
+            leaf entry.
+        tree_mode: include each expanded gate's is-single-fanout flag
+            (tree-mode legality depends on it).
+        budget: cap on the number of emitted entries.
+    """
+    # Pass 1: minimum depth of every node within the horizon.  BFS visits
+    # in nondecreasing depth, so the first assignment is the minimum.
+    min_depth: Dict[int, int] = {node.uid: 0}
+    queue = deque([(node, 0)])
+    while queue:
+        n, d = queue.popleft()
+        if d >= depth or not n.is_gate:
+            continue
+        for fanin in n.fanins:
+            if fanin.uid not in min_depth:
+                if len(min_depth) >= budget:
+                    return None, []
+                min_depth[fanin.uid] = d + 1
+                queue.append((fanin, d + 1))
+
+    # Pass 2: order-sensitive preorder encoding with identity references.
+    nodes: List[SubjectNode] = []
+    index: Dict[int, int] = {}
+    sig: List[tuple] = []
+    # Children pushed in reverse keeps fanin order in the signature.
+    stack = [node]
+    while stack:
+        if len(sig) >= budget:
+            return None, []
+        n = stack.pop()
+        uid = n.uid
+        i = index.get(uid)
+        if i is not None:
+            sig.append(("R", i))
+            continue
+        index[uid] = len(nodes)
+        nodes.append(n)
+        if not n.is_gate or min_depth[uid] >= depth:
+            sig.append(("X",))
+            continue
+        if tree_mode:
+            sig.append((n.type.value, n.num_fanouts == 1))
+        else:
+            sig.append((n.type.value,))
+        for fanin in reversed(n.fanins):
+            stack.append(fanin)
+    return tuple(sig), nodes

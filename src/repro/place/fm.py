@@ -9,6 +9,7 @@ for a bounded number of passes.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -66,14 +67,16 @@ def fm_bipartition(
     )
 
     cell_nets: Dict[str, List[int]] = defaultdict(list)
+    net_cells: List[List[str]] = [[] for _ in nets]
     for net_id, net in enumerate(nets):
         for pin in net:
             if pin in cell_set:
                 cell_nets[pin].append(net_id)
+                net_cells[net_id].append(pin)
 
     for _ in range(max_passes):
         improved = _fm_pass(
-            cells, nets, cell_nets, side, sizes, max_side_area
+            cells, nets, cell_nets, net_cells, side, sizes, max_side_area
         )
         if not improved:
             break
@@ -94,9 +97,21 @@ def _gain(cell: str, nets, cell_nets, side, counts) -> int:
 
 
 def _fm_pass(
-    cells, nets, cell_nets, side, sizes, max_side_area
+    cells, nets, cell_nets, net_cells, side, sizes, max_side_area
 ) -> bool:
-    """One FM pass; mutates ``side``; returns True if the cut improved."""
+    """One FM pass; mutates ``side``; returns True if the cut improved.
+
+    Gains are computed once up front and refreshed incrementally: a
+    cell's gain depends only on the pin counts of its own nets, so a
+    move can change the gains of cells sharing a net with the moved
+    cell and of no one else.  Selection pops a lazy max-heap keyed by
+    ``(-gain, cell index)`` — the same winner as a linear scan with a
+    strict ``>`` comparison (highest gain, earliest cell breaking
+    ties), so every tie-break matches the naive implementation.  Stale
+    heap entries (superseded gain, locked cell) are discarded on pop;
+    feasible-balance checks happen at pop time, and cells that fail
+    them are re-pushed for later steps once a winner is found.
+    """
     counts: List[List[int]] = []
     for net in nets:
         c = [0, 0]
@@ -116,19 +131,31 @@ def _fm_pass(
     best_gain = 0
 
     free = list(cells)
+    rank = {c: i for i, c in enumerate(free)}
+    gains: Dict[str, int] = {
+        c: _gain(c, nets, cell_nets, side, counts) for c in free
+    }
+    heap: List[Tuple[int, int, str]] = [
+        (-gains[c], i, c) for i, c in enumerate(free)
+    ]
+    heapq.heapify(heap)
     for _step in range(len(cells)):
         best_cell = None
         best_cell_gain = None
-        for cell in free:
-            if cell in locked:
-                continue
+        deferred: List[Tuple[int, int, str]] = []
+        while heap:
+            neg_g, i, cell = heapq.heappop(heap)
+            if cell in locked or -neg_g != gains[cell]:
+                continue  # stale entry
             target = 1 - side[cell]
             if side_area[target] + sizes.get(cell, 1.0) > max_side_area:
-                continue
-            g = _gain(cell, nets, cell_nets, side, counts)
-            if best_cell_gain is None or g > best_cell_gain:
-                best_cell_gain = g
-                best_cell = cell
+                deferred.append((neg_g, i, cell))
+                continue  # infeasible now; may become movable later
+            best_cell = cell
+            best_cell_gain = -neg_g
+            break
+        for entry in deferred:
+            heapq.heappush(heap, entry)
         if best_cell is None:
             break
         # Apply the tentative move.
@@ -145,6 +172,16 @@ def _fm_pass(
         if gain_total > best_gain:
             best_gain = gain_total
             best_prefix = len(moves)
+        # Refresh the gains invalidated by the move.
+        touched: Set[str] = set()
+        for net_id in cell_nets[best_cell]:
+            touched.update(net_cells[net_id])
+        for other in touched:
+            if other not in locked:
+                g = _gain(other, nets, cell_nets, side, counts)
+                if g != gains[other]:
+                    gains[other] = g
+                    heapq.heappush(heap, (-g, rank[other], other))
 
     # Roll back past the best prefix.
     for cell, original in reversed(moves[best_prefix:]):

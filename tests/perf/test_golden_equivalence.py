@@ -1,0 +1,89 @@
+"""Golden equivalence: every fast path is bit-identical to the naive one.
+
+The DP cover breaks cost ties by scan order, positions feed back into
+later cones, and the final netlist hashes all of it together — so the
+fingerprints below (cells, fanins, exact positions, exact arrivals,
+exact solution costs) catch any divergence, not just large ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.lily import LilyAreaMapper, LilyDelayMapper
+from repro.map.mis import MisAreaMapper, MisDelayMapper
+from repro.network.decompose import decompose_to_subject
+from repro.perf import PerfOptions
+
+CIRCUITS = ["misex1", "b9", "apex7"]
+
+VARIANTS = {
+    "memo_only": PerfOptions(
+        memoize_matches=True, index_patterns=False, incremental_nets=False
+    ),
+    "index_only": PerfOptions(
+        memoize_matches=False, index_patterns=True, incremental_nets=False
+    ),
+    "nets_only": PerfOptions(
+        memoize_matches=False, index_patterns=False, incremental_nets=True
+    ),
+    "all_on": PerfOptions(),
+    "parallel": PerfOptions().with_jobs(2),
+}
+
+
+def _fingerprint(result):
+    rows = []
+    for g in sorted(result.mapped.gates, key=lambda g: g.name):
+        pos = g.position
+        rows.append(
+            (
+                g.name,
+                g.cell.name,
+                tuple(f.name for f in g.fanins),
+                None if pos is None else (pos.x, pos.y),
+                g.arrival,
+            )
+        )
+    total_area = sum(g.cell.area for g in result.mapped.gates)
+    return tuple(rows), total_area, tuple(result.cone_order)
+
+
+@pytest.fixture(scope="module")
+def subjects():
+    return {
+        name: decompose_to_subject(build_circuit(name)) for name in CIRCUITS
+    }
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_lily_area_all_variants(subjects, big_lib, circuit):
+    subject = subjects[circuit]
+    golden = _fingerprint(
+        LilyAreaMapper(big_lib, perf=PerfOptions.naive()).map(subject)
+    )
+    for name, perf in VARIANTS.items():
+        fp = _fingerprint(LilyAreaMapper(big_lib, perf=perf).map(subject))
+        assert fp == golden, f"{circuit}/{name} diverged from naive"
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_mis_area_fast_vs_naive(subjects, big_lib, circuit):
+    subject = subjects[circuit]
+    golden = _fingerprint(
+        MisAreaMapper(big_lib, perf=PerfOptions.naive()).map(subject)
+    )
+    fast = _fingerprint(MisAreaMapper(big_lib).map(subject))
+    assert fast == golden
+
+
+def test_delay_mappers_fast_vs_naive(subjects, big_lib):
+    subject = subjects["misex1"]
+    for cls in (LilyDelayMapper, MisDelayMapper):
+        golden = _fingerprint(
+            cls(big_lib, perf=PerfOptions.naive()).map(subject)
+        )
+        for name, perf in VARIANTS.items():
+            fp = _fingerprint(cls(big_lib, perf=perf).map(subject))
+            assert fp == golden, f"{cls.__name__}/{name} diverged"

@@ -1,0 +1,77 @@
+"""Parallel cone match pre-warm: deterministic, complete, identical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.lily import LilyAreaMapper
+from repro.map.cones import logic_cones
+from repro.network.decompose import decompose_to_subject
+from repro.perf import PerfOptions
+from repro.perf.parallel import cone_ownership, prewarm_match_cache
+
+
+@pytest.fixture(scope="module")
+def subject():
+    return decompose_to_subject(build_circuit("misex1"))
+
+
+def test_ownership_partitions_the_gates(subject):
+    cones = logic_cones(subject)
+    order = list(range(len(cones)))
+    owned = cone_ownership(cones, order)
+    seen = set()
+    for _, nodes in owned:
+        uids = [n.uid for n in nodes]
+        assert uids == sorted(uids)
+        assert not seen.intersection(uids)
+        seen.update(uids)
+    all_gates = {n.uid for _, cone in cones for n in cone if n.is_gate}
+    assert seen == all_gates
+
+
+def _cache_fingerprint(cache):
+    return {
+        uid: [
+            (
+                id(m.pattern),
+                tuple(v.uid for v in m.inputs),
+                frozenset(c.uid for c in m.covered),
+            )
+            for m in matches
+        ]
+        for uid, matches in cache.items()
+    }
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_prewarm_matches_inline_computation(subject, jobs, big_lib):
+    cones = logic_cones(subject)
+    order = list(range(len(cones)))
+
+    reference = LilyAreaMapper(big_lib)
+    reference.subject = subject
+    reference.matcher.bind(subject)
+    reference._match_cache = {}
+    prewarm_match_cache(reference, cones, order, jobs=1)
+
+    mapper = LilyAreaMapper(big_lib)
+    mapper.subject = subject
+    mapper.matcher.bind(subject)
+    mapper._match_cache = {}
+    prewarm_match_cache(mapper, cones, order, jobs=jobs)
+
+    assert _cache_fingerprint(mapper._match_cache) == _cache_fingerprint(
+        reference._match_cache
+    )
+
+
+def test_jobs_option_threads_through_mapping(subject, big_lib):
+    serial = LilyAreaMapper(big_lib).map(subject)
+    threaded = LilyAreaMapper(big_lib, perf=PerfOptions().with_jobs(3)).map(
+        subject
+    )
+    a = [(g.name, g.cell.name) for g in serial.mapped.gates]
+    b = [(g.name, g.cell.name) for g in threaded.mapped.gates]
+    assert a == b

@@ -1,0 +1,55 @@
+"""Per-phase timings must account for the wall clock, even with --jobs.
+
+The profile table's credibility rests on the depth-1 phases covering the
+flow's wall time; concurrent worker spans used to corrupt that by being
+subtracted from (or double-counted against) their parents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.flow.pipeline import lily_flow, mis_flow
+from repro.obs import OBS, observed
+from repro.perf import PerfOptions
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_phase_sum_tracks_wall(big_lib, jobs):
+    net = build_circuit("misex1")
+    perf = PerfOptions().with_jobs(jobs)
+    with observed():
+        result = lily_flow(net, big_lib, verify=False, perf=perf)
+    report = result.obs
+    assert report is not None
+    assert report.wall_s > 0
+    gap = abs(report.phase_total() - report.wall_s) / report.wall_s
+    assert gap < 0.05, (
+        f"phase sum {report.phase_total():.4f}s vs wall "
+        f"{report.wall_s:.4f}s (jobs={jobs})"
+    )
+
+
+def test_exclusive_times_stay_nonnegative_with_jobs(big_lib):
+    net = build_circuit("misex1")
+    with observed():
+        result = mis_flow(
+            net, big_lib, verify=False, perf=PerfOptions().with_jobs(2)
+        )
+    report = result.obs
+    assert report is not None
+    for phase in report.phases:
+        assert phase.exclusive_s >= 0.0, phase.path
+        assert phase.total_s >= phase.exclusive_s - 1e-9, phase.path
+
+
+def test_prewarm_phase_appears_with_jobs(big_lib):
+    net = build_circuit("misex1")
+    with observed():
+        result = lily_flow(
+            net, big_lib, verify=False, perf=PerfOptions().with_jobs(2)
+        )
+    prewarm = result.obs.phase("map/map.prewarm")
+    assert prewarm is not None
+    assert prewarm.count == 1

@@ -1,0 +1,118 @@
+"""Canonical subtree signatures (match-memoization keys)."""
+
+from __future__ import annotations
+
+from repro.network.subject import SubjectGraph
+from repro.perf.signature import subtree_signature
+
+
+def _tree(prefix: str):
+    """AND-of-two-NANDs shape over fresh primary inputs."""
+    g = SubjectGraph()
+    a, b, c = (g.add_primary_input(f"{prefix}{x}") for x in "abc")
+    root = g.nand(g.inv(g.nand(a, b)), c)
+    g.add_primary_output(f"{prefix}f", root)
+    return root
+
+
+class TestEquality:
+    def test_identical_structure_same_signature(self):
+        s1, _ = subtree_signature(_tree("p"), depth=4)
+        s2, _ = subtree_signature(_tree("q"), depth=4)
+        assert s1 is not None
+        assert s1 == s2
+
+    def test_different_structure_different_signature(self):
+        g = SubjectGraph()
+        a, b = g.add_primary_input("a"), g.add_primary_input("b")
+        nand = g.nand(a, b)
+        inv = g.inv(nand)
+        g.add_primary_output("f", inv)
+        s_nand, _ = subtree_signature(nand, depth=4)
+        s_inv, _ = subtree_signature(inv, depth=4)
+        assert s_nand != s_inv
+
+    def test_shared_vs_duplicated_fanin_differ(self):
+        # A stem reconverging inside the subtree produces an identity
+        # reference; the same shape over two distinct (but signature-
+        # equal, since PIs are opaque) stems does not.
+        g = SubjectGraph()
+        a, b, c, d, e = (g.add_primary_input(x) for x in "abcde")
+        s = g.nand(a, b)
+        shared = g.nand(g.inv(s), g.nand(s, c))
+        s2 = g.nand(d, e)
+        split = g.nand(g.inv(g.nand(a, b)), g.nand(s2, c))
+        g.add_primary_output("f", g.nand(shared, split))
+        s_shared, _ = subtree_signature(shared, depth=4)
+        s_split, _ = subtree_signature(split, depth=4)
+        assert s_shared != s_split
+        assert any(entry[0] == "R" for entry in s_shared)
+        assert not any(entry[0] == "R" for entry in s_split)
+
+
+class TestTruncation:
+    def test_deep_chain_truncates(self):
+        # A ladder of NANDs (fresh input per rung, so structural hashing
+        # cannot simplify it) truncated two levels down: the root and one
+        # interior NAND expand, everything deeper is opaque.
+        g = SubjectGraph()
+        node = g.add_primary_input("a")
+        for i in range(6):
+            node = g.nand(node, g.add_primary_input(f"p{i}"))
+        g.add_primary_output("f", node)
+        shallow, nodes = subtree_signature(node, depth=2)
+        assert sum(1 for e in shallow if e == ("nand2",)) == 2
+        assert sum(1 for e in shallow if e == ("X",)) == 3
+        assert len(nodes) == 5
+
+    def test_depth_zero_is_opaque(self):
+        root = _tree("z")
+        sig, nodes = subtree_signature(root, depth=0)
+        assert sig == (("X",),)
+        assert nodes == [root]
+
+    def test_reconvergence_across_the_horizon(self):
+        # The shared node is first reachable through a *long* path that
+        # crosses the horizon, and also through a short path inside it.
+        # Min-depth truncation must expand it (the matcher can inspect
+        # its fanins via the short path).
+        g = SubjectGraph()
+        a, b = g.add_primary_input("a"), g.add_primary_input("b")
+        x = g.nand(a, b)
+        long_arm = g.inv(g.inv(g.inv(x)))
+        root = g.nand(long_arm, x)
+        g.add_primary_output("f", root)
+        sig, nodes = subtree_signature(root, depth=3)
+        assert sig is not None
+        # x sits at min depth 1 < 3, so it appears expanded ("nand2"),
+        # not as an opaque ("X",) leaf, even though the preorder walk
+        # reaches it through the long arm first.
+        x_index = nodes.index(x)
+        entries_by_first_visit = {}
+        position = 0
+        for entry in sig:
+            if entry[0] == "R":
+                continue
+            entries_by_first_visit[position] = entry
+            position += 1
+        assert entries_by_first_visit[x_index] == ("nand2",)
+
+
+class TestModesAndBudget:
+    def test_tree_mode_encodes_fanout(self):
+        g = SubjectGraph()
+        a, b = g.add_primary_input("a"), g.add_primary_input("b")
+        stem = g.nand(a, b)
+        root = g.inv(stem)
+        g.add_primary_output("f", root)
+        g.add_primary_output("g", stem)  # stem has 2 fanouts
+        flat, _ = subtree_signature(root, depth=2, tree_mode=False)
+        tree, _ = subtree_signature(root, depth=2, tree_mode=True)
+        assert flat != tree
+        assert ("nand2", False) in tree  # multi-fanout stem flagged
+
+    def test_budget_abandons(self):
+        root = _tree("w")
+        sig, nodes = subtree_signature(root, depth=4, budget=2)
+        assert sig is None
+        assert nodes == []
