@@ -5,6 +5,8 @@ Commands:
     table2                regenerate Table 2 (delay mode)
     report <circuit>      detailed MIS-vs-Lily report for one circuit
                           (``--svg out.svg`` also writes the Lily layout)
+    verify <circuit>      run both flows under the ``repro.verify`` audit
+                          and print the full checker report
 """
 
 from __future__ import annotations
@@ -21,14 +23,21 @@ from repro.flow.tables import (
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(prog="repro.flow")
-    parser.add_argument("command", choices=["table1", "table2", "report"])
+    parser.add_argument("command",
+                        choices=["table1", "table2", "report", "verify"])
     parser.add_argument("circuits", nargs="*",
                         help="circuit names (default: full table)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size scale for the synthetic circuits")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip equivalence checking (faster)")
+    parser.add_argument("--verify", choices=["fast", "full"], default=None,
+                        dest="verify_level", metavar="LEVEL",
+                        help="run the repro.verify audit at LEVEL "
+                             "(fast|full) instead of the plain "
+                             "equivalence check")
     parser.add_argument("--mode", choices=["area", "timing"], default="area",
                         help="pipeline mode for 'report'")
     parser.add_argument("--svg", default=None,
@@ -54,7 +63,9 @@ def main(argv=None) -> int:
     perf = perf.with_jobs(args.jobs)
 
     circuits = args.circuits or None
-    verify = not args.no_verify
+    if args.no_verify and args.verify_level:
+        raise SystemExit("--no-verify and --verify are mutually exclusive")
+    verify = False if args.no_verify else (args.verify_level or True)
     if args.command == "table1":
         rows = run_table1(circuits, scale=args.scale, verify=verify,
                           perf=perf)
@@ -63,12 +74,57 @@ def main(argv=None) -> int:
         rows = run_table2(circuits, scale=args.scale, verify=verify,
                           perf=perf)
         print(format_table2(rows))
+    elif args.command == "verify":
+        return _verify(args, perf)
     else:
         _report(args, verify, perf)
     return 0
 
 
-def _report(args, verify: bool, perf) -> None:
+def _verify(args, perf) -> int:
+    """The ``verify`` command: audit both flows on each circuit.
+
+    Runs the MIS and Lily pipelines (in the requested mode) with the
+    ``repro.verify`` audit attached and prints every checker's verdict.
+    Returns a non-zero exit code if any check fails, so the command works
+    as a CI gate.
+    """
+    from repro.circuits.suite import SUITE, TABLE1_CIRCUITS, build_circuit
+    from repro.flow.pipeline import lily_flow, mis_flow
+    from repro.library.standard import big_library
+
+    level = args.verify_level or "fast"
+    library = big_library()
+    failures = 0
+    unknown = [name for name in args.circuits if name not in SUITE]
+    if unknown:
+        raise SystemExit(
+            f"unknown circuit(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(SUITE))})")
+    for name in args.circuits or TABLE1_CIRCUITS:
+        net = build_circuit(name, scale=args.scale)
+        for flow_fn, flow_name in ((mis_flow, "mis"), (lily_flow, "lily")):
+            result = flow_fn(net, library, mode=args.mode, verify=level,
+                             perf=perf)
+            report = result.verify_report
+            counts = report.counts()
+            status = "ok" if report.passed else "FAILED"
+            print(f"== {name} / {flow_name} / {args.mode}: "
+                  f"{counts['passed']}/{counts['run']} checks passed "
+                  f"[{status}]")
+            if not report.passed:
+                failures += counts["failed"]
+                for check in report.failures:
+                    print(f"   {check}")
+    print()
+    if failures:
+        print(f"verification FAILED: {failures} failing checks")
+        return 1
+    print(f"verification passed (level={level})")
+    return 0
+
+
+def _report(args, verify, perf) -> None:
     from repro.circuits.suite import build_circuit
     from repro.flow.pipeline import lily_flow, mis_flow
     from repro.flow.report import circuit_report, comparison_report
@@ -98,6 +154,15 @@ def _report(args, verify: bool, perf) -> None:
             print(comparison_report(mis, lily))
             print()
             print(circuit_report(lily))
+            for result in (mis, lily):
+                report = result.verify_report
+                if report is None:
+                    continue
+                counts = report.counts()
+                print(f"\nverify[{result.mapper}]: {counts['passed']}/"
+                      f"{counts['run']} checks passed (level={report.level})")
+                for check in report.failures:
+                    print(f"  {check}")
             if args.profile:
                 for result in (mis, lily):
                     if result.obs is not None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.area.estimate import ChipEstimate, estimate_chip, mapped_image, subject_image
 from repro.core.lily import LilyAreaMapper, LilyDelayMapper, LilyOptions
@@ -37,6 +37,7 @@ from repro.place.pads import io_affinity_order, perimeter_slots
 from repro.route.global_route import RoutedDesign, route_design
 from repro.timing.model import WireCapModel
 from repro.timing.sta import TimingReport, analyze
+from repro.verify.result import VerifyReport
 
 __all__ = ["BackendResult", "FlowResult", "mis_flow", "lily_flow",
            "place_and_route", "pads_from_order"]
@@ -54,10 +55,12 @@ class BackendResult:
 
     @property
     def chip_area_mm2(self) -> float:
+        """Predicted chip area, mm²."""
         return self.chip.chip_area / 1e6
 
     @property
     def wire_length_mm(self) -> float:
+        """Total routed interconnect length, mm."""
         return self.routed.total_wire_length / 1e3
 
 
@@ -75,13 +78,18 @@ class FlowResult:
     #: Per-phase tracing/metrics report; populated when the global
     #: observability session (``repro.obs.OBS``) is enabled.
     obs: Optional[ObsReport] = None
+    #: Full checker report; populated when the flow ran with
+    #: ``verify="fast"`` or ``verify="full"`` (the ``repro.verify`` audit).
+    verify_report: Optional[VerifyReport] = None
 
     @property
     def mapped(self) -> MappedNetwork:
+        """The mapped netlist the flow produced."""
         return self.map_result.mapped
 
     @property
     def num_gates(self) -> int:
+        """Library-gate instance count of the mapped netlist."""
         return self.map_result.num_gates
 
     @property
@@ -91,14 +99,17 @@ class FlowResult:
 
     @property
     def chip_area_mm2(self) -> float:
+        """Predicted chip area after place-and-route, mm²."""
         return self.backend.chip_area_mm2
 
     @property
     def wire_length_mm(self) -> float:
+        """Total routed interconnect length, mm."""
         return self.backend.wire_length_mm
 
     @property
     def delay(self) -> float:
+        """Critical-path delay of the routed design (STA, wire included)."""
         return self.backend.timing.critical_delay
 
 
@@ -169,12 +180,44 @@ def place_and_route(
     return BackendResult(detailed, routed, chip, timing, pads)
 
 
+def _run_verification(
+    net: Network,
+    result: MapResult,
+    backend: BackendResult,
+    verify: Union[bool, str],
+    wire_model: Optional[WireCapModel],
+):
+    """The verification step shared by both flows.
+
+    ``verify`` semantics: ``False`` skips checking entirely; ``True`` runs
+    the legacy whole-network simulation check; ``"fast"``/``"full"`` run
+    the :mod:`repro.verify` audit at that level (structural invariants,
+    per-cone equivalence, placement/timing consistency) and attach the
+    full report to the flow result.
+
+    Returns ``(equivalent, verify_report)``.
+    """
+    if not verify:
+        return True, None
+    if isinstance(verify, str):
+        from repro.verify import LEVELS, audit_flow
+
+        if verify not in LEVELS:
+            raise ValueError(
+                f"unknown verify level: {verify!r} (expected one of {LEVELS})"
+            )
+        report = audit_flow(net, result, backend, level=verify,
+                            wire_model=wire_model or WireCapModel())
+        return report.family_passed("equiv"), report
+    return networks_equivalent(net, result.mapped), None
+
+
 def mis_flow(
     net: Network,
     library: Library,
     mode: str = "area",
     wire_model: Optional[WireCapModel] = None,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
 ) -> FlowResult:
     """Pipeline 1: MIS mapping, layout afterwards.
@@ -182,6 +225,9 @@ def mis_flow(
     ``perf`` selects the mapper's fast-path configuration (memoization,
     pattern indexing, net caching, ``jobs``); the default enables every
     cache single-threaded.  Results are bit-identical across settings.
+
+    ``verify`` accepts the legacy booleans or an audit level (``"fast"`` /
+    ``"full"``, see :func:`_run_verification`).
     """
     start = perf_counter()
     counters_before = (
@@ -206,9 +252,9 @@ def mis_flow(
             pad_order = _mapped_terminal_names(result.mapped, pad_order)
         with OBS.span("backend"):
             backend = place_and_route(result.mapped, pad_order, wire_model)
-        with OBS.span("verify", enabled=verify):
-            equivalent = (
-                networks_equivalent(net, result.mapped) if verify else True
+        with OBS.span("verify", enabled=bool(verify)):
+            equivalent, verify_report = _run_verification(
+                net, result, backend, verify, wire_model
             )
     runtime = perf_counter() - start
     report = None
@@ -217,7 +263,7 @@ def mis_flow(
                               flow="mis", circuit=net.name)
     return FlowResult(
         net.name, "mis", mode, result, backend, equivalent, runtime,
-        obs=report,
+        obs=report, verify_report=verify_report,
     )
 
 
@@ -227,7 +273,7 @@ def lily_flow(
     mode: str = "area",
     options: Optional[LilyOptions] = None,
     wire_model: Optional[WireCapModel] = None,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     seed_backend_from_mapper: bool = False,
     layout_driven_decomposition: bool = False,
     perf: Optional[PerfOptions] = None,
@@ -240,7 +286,7 @@ def lily_flow(
     and each node's decomposition tree is built proximity-first, so nearby
     signals enter each tree at topologically-near points (Figure 1.1b).
 
-    ``perf`` works exactly as in :func:`mis_flow`.
+    ``perf`` and ``verify`` work exactly as in :func:`mis_flow`.
     """
     start = perf_counter()
     counters_before = (
@@ -297,9 +343,9 @@ def lily_flow(
                 result.mapped, backend_pad_order, wire_model,
                 seed_positions=seed
             )
-        with OBS.span("verify", enabled=verify):
-            equivalent = (
-                networks_equivalent(net, result.mapped) if verify else True
+        with OBS.span("verify", enabled=bool(verify)):
+            equivalent, verify_report = _run_verification(
+                net, result, backend, verify, wire_model
             )
     runtime = perf_counter() - start
     report = None
@@ -308,7 +354,7 @@ def lily_flow(
                               flow="lily", circuit=net.name)
     return FlowResult(
         net.name, "lily", mode, result, backend, equivalent, runtime,
-        obs=report,
+        obs=report, verify_report=verify_report,
     )
 
 

@@ -12,7 +12,7 @@ placer, router and timing model and reports the paper's columns:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.circuits.suite import TABLE1_CIRCUITS, TABLE2_CIRCUITS, build_circuit
 from repro.core.lily import LilyOptions
@@ -49,14 +49,17 @@ class Table1Row:
 
     @property
     def chip_ratio(self) -> float:
+        """Lily/MIS chip-area ratio (1.0 when MIS area is zero)."""
         return self.lily_chip / self.mis_chip if self.mis_chip else 1.0
 
     @property
     def wire_ratio(self) -> float:
+        """Lily/MIS wirelength ratio (1.0 when MIS length is zero)."""
         return self.lily_wire / self.mis_wire if self.mis_wire else 1.0
 
     @property
     def inst_ratio(self) -> float:
+        """Lily/MIS instance-area ratio (1.0 when MIS area is zero)."""
         return self.lily_inst / self.mis_inst if self.mis_inst else 1.0
 
 
@@ -74,6 +77,7 @@ class Table2Row:
 
     @property
     def delay_ratio(self) -> float:
+        """Lily/MIS critical-delay ratio (1.0 when MIS delay is zero)."""
         return self.lily_delay / self.mis_delay if self.mis_delay else 1.0
 
 
@@ -82,7 +86,7 @@ def run_table1(
     scale: float = 1.0,
     library: Optional[Library] = None,
     options: Optional[LilyOptions] = None,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
 ) -> List[Table1Row]:
     """Regenerate Table 1 over the named circuits."""
@@ -114,7 +118,7 @@ def run_table2(
     scale: float = 1.0,
     library: Optional[Library] = None,
     options: Optional[LilyOptions] = None,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
 ) -> List[Table2Row]:
     """Regenerate Table 2 over the named circuits.
@@ -156,6 +160,7 @@ def _mean(values: Sequence[float]) -> float:
 
 
 def geometric_mean_ratios(ratios: Sequence[float]) -> float:
+    """Geometric mean of the given ratios (1.0 for an empty sequence)."""
     if not ratios:
         return 1.0
     product = 1.0

@@ -21,7 +21,22 @@ __all__ = ["parse_genlib", "write_genlib", "GenlibError"]
 
 
 class GenlibError(ValueError):
-    """Raised on malformed genlib input."""
+    """Raised on malformed genlib input.
+
+    The message carries ``filename:line:`` context whenever it is known;
+    the bare reason, file name and line number are also available as the
+    :attr:`reason`, :attr:`filename` and :attr:`line` attributes.
+    """
+
+    def __init__(self, reason: str, filename: Optional[str] = None,
+                 line: Optional[int] = None):
+        self.reason = reason
+        self.filename = filename
+        self.line = line
+        prefix = filename or "<genlib>"
+        if line is not None:
+            prefix += f":{line}"
+        super().__init__(f"{prefix}: {reason}")
 
 
 _GATE_RE = re.compile(
@@ -46,17 +61,52 @@ def _strip_comments(text: str) -> str:
     return "\n".join(out_lines)
 
 
-def parse_genlib(text: str, name: str = "genlib") -> Library:
-    """Parse genlib text into a :class:`Library`."""
+def _line_of(text: str, offset: int) -> int:
+    """1-based line number of a character offset into ``text``."""
+    return text.count("\n", 0, offset) + 1
+
+
+def _check_unmatched(text: str, keyword: str, spans, what: str,
+                     filename: Optional[str], region=None) -> None:
+    """Reject ``keyword`` tokens that no well-formed record consumed.
+
+    The regex-driven parser would otherwise silently skip a mis-spelled
+    GATE or PIN line — a malformed library must be an error, not a
+    smaller library.  ``spans`` and ``region`` are offsets into the full
+    ``text`` so reported line numbers are file-absolute.
+    """
+    lo, hi = region if region is not None else (0, len(text))
+    for m in re.finditer(rf"\b{keyword}\b", text[lo:hi]):
+        offset = lo + m.start()
+        if any(start <= offset < end for start, end in spans):
+            continue
+        lineno = _line_of(text, offset)
+        snippet = text.splitlines()[lineno - 1].strip()
+        raise GenlibError(f"malformed {what} line: {snippet!r}",
+                          filename, lineno)
+
+
+def parse_genlib(text: str, name: str = "genlib",
+                 filename: Optional[str] = None) -> Library:
+    """Parse genlib text into a :class:`Library`.
+
+    ``filename`` is only used to contextualise :class:`GenlibError`
+    messages.
+    """
     text = _strip_comments(text)
-    if re.search(r"\bLATCH\b", text):
-        raise GenlibError("LATCH gates are not supported")
+    latch = re.search(r"\bLATCH\b", text)
+    if latch:
+        raise GenlibError(
+            "LATCH gates are not supported (combinational subset only, "
+            "see docs/FORMATS.md)", filename, _line_of(text, latch.start()))
 
     cells: List[Cell] = []
-    pos = 0
     gate_matches = list(_GATE_RE.finditer(text))
     if not gate_matches:
-        raise GenlibError("no GATE definitions found")
+        raise GenlibError("no GATE definitions found", filename)
+    _check_unmatched(text, "GATE",
+                     [(m.start(), m.end()) for m in gate_matches],
+                     "GATE", filename)
     for gi, gm in enumerate(gate_matches):
         body_start = gm.end()
         body_end = (
@@ -64,7 +114,14 @@ def parse_genlib(text: str, name: str = "genlib") -> Library:
         )
         body = text[body_start:body_end]
         pin_records: List[Tuple[str, PinTiming, float]] = []
-        for pm in _PIN_RE.finditer(body):
+        pin_matches = list(_PIN_RE.finditer(body))
+        _check_unmatched(
+            text, "PIN",
+            [(body_start + m.start(), body_start + m.end())
+             for m in pin_matches],
+            f"PIN (in gate {gm.group('name')!r})", filename,
+            region=(body_start, body_end))
+        for pm in pin_matches:
             timing = PinTiming(
                 rise_block=float(pm.group("rb")),
                 rise_resistance=float(pm.group("rr")),
@@ -79,6 +136,8 @@ def parse_genlib(text: str, name: str = "genlib") -> Library:
                 gm.group("out"),
                 gm.group("expr").strip(),
                 pin_records,
+                filename,
+                _line_of(text, gm.start()),
             )
         )
     return Library(name, cells)
@@ -90,12 +149,15 @@ def _build_cell(
     output: str,
     expression: str,
     pin_records: List[Tuple[str, PinTiming, float]],
+    filename: Optional[str] = None,
+    line: Optional[int] = None,
 ) -> Cell:
     from repro.network.expr import parse_expression
 
     variables = parse_expression(expression).variables()
     if not variables:
-        raise GenlibError(f"gate {name!r}: constant gates are not supported")
+        raise GenlibError(f"gate {name!r}: constant gates are not supported",
+                          filename, line)
 
     wildcard: Optional[Tuple[PinTiming, float]] = None
     named: Dict[str, Tuple[PinTiming, float]] = {}
@@ -105,11 +167,20 @@ def _build_cell(
         else:
             named[pin_name] = (timing, load)
 
+    unknown = sorted(set(named) - set(variables))
+    if unknown:
+        raise GenlibError(
+            f"gate {name!r}: PIN record(s) for {', '.join(map(repr, unknown))} "
+            f"which do not appear in the expression {expression!r}",
+            filename, line)
+
     pins: List[Pin] = []
     for var in variables:
         record = named.get(var, wildcard)
         if record is None:
-            raise GenlibError(f"gate {name!r}: no PIN record for {var!r}")
+            raise GenlibError(
+                f"gate {name!r}: no PIN record for input {var!r} "
+                f"(add a named PIN or a 'PIN *' wildcard)", filename, line)
         timing, load = record
         pins.append(Pin(var, load, timing))
     return Cell(name, area, expression, pins, output_name=output)

@@ -17,47 +17,74 @@ __all__ = ["parse_blif", "parse_blif_file", "write_blif", "BlifError"]
 
 
 class BlifError(ValueError):
-    """Raised on malformed BLIF input."""
+    """Raised on malformed BLIF input.
+
+    The message is prefixed with ``filename:line:`` context whenever it is
+    known; the bare reason, file name and line number are also available as
+    the :attr:`reason`, :attr:`filename` and :attr:`line` attributes.
+    """
+
+    def __init__(self, reason: str, filename: Optional[str] = None,
+                 line: Optional[int] = None):
+        self.reason = reason
+        self.filename = filename
+        self.line = line
+        prefix = filename or "<blif>"
+        if line is not None:
+            prefix += f":{line}"
+        super().__init__(f"{prefix}: {reason}")
 
 
-def _logical_lines(text: str) -> List[str]:
-    """Split text into logical lines: strip comments, join continuations."""
-    lines: List[str] = []
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Split text into ``(lineno, line)`` logical lines.
+
+    Comments are stripped and ``\\`` continuations joined; a joined line
+    reports the 1-based number of its first physical line.
+    """
+    lines: List[Tuple[int, str]] = []
     pending = ""
-    for raw in text.splitlines():
+    pending_start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         # Strip comments; BLIF comments run from '#' to end of line.
         hash_pos = raw.find("#")
         if hash_pos >= 0:
             raw = raw[:hash_pos]
         raw = raw.rstrip()
         if raw.endswith("\\"):
+            if not pending:
+                pending_start = lineno
             pending += raw[:-1] + " "
             continue
         line = (pending + raw).strip()
+        start = pending_start if pending else lineno
         pending = ""
         if line:
-            lines.append(line)
+            lines.append((start, line))
     if pending.strip():
-        lines.append(pending.strip())
+        lines.append((pending_start, pending.strip()))
     return lines
 
 
-def parse_blif(text: str, name: Optional[str] = None) -> Network:
+def parse_blif(text: str, name: Optional[str] = None,
+               filename: Optional[str] = None) -> Network:
     """Parse BLIF text into a :class:`Network`.
 
     Node declaration order in the file need not be topological; signals may
-    be used before the ``.names`` block defining them appears.
+    be used before the ``.names`` block defining them appears.  ``filename``
+    is only used to contextualise :class:`BlifError` messages.
     """
     lines = _logical_lines(text)
     model_name = name or "blif"
     inputs: List[str] = []
     outputs: List[str] = []
-    # Each .names block: (output_signal, input_signals, rows)
-    names_blocks: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
+    # Each .names block: (lineno, output_signal, input_signals, rows)
+    names_blocks: List[
+        Tuple[int, str, List[str], List[Tuple[str, str]]]
+    ] = []
 
     i = 0
     while i < len(lines):
-        line = lines[i]
+        lineno, line = lines[i]
         tokens = line.split()
         directive = tokens[0]
         if directive == ".model":
@@ -73,49 +100,62 @@ def parse_blif(text: str, name: Optional[str] = None) -> Network:
         elif directive == ".names":
             signals = tokens[1:]
             if not signals:
-                raise BlifError(".names with no signals")
+                raise BlifError(".names with no signals", filename, lineno)
             out_sig = signals[-1]
             in_sigs = signals[:-1]
             rows: List[Tuple[str, str]] = []
             i += 1
-            while i < len(lines) and not lines[i].startswith("."):
-                parts = lines[i].split()
+            while i < len(lines) and not lines[i][1].startswith("."):
+                row_lineno, row = lines[i]
+                parts = row.split()
                 if in_sigs:
                     if len(parts) != 2:
-                        raise BlifError(f"bad cover row: {lines[i]!r}")
+                        raise BlifError(
+                            f"bad cover row {row!r}: expected "
+                            f"'<mask> <value>'", filename, row_lineno)
                     mask, value = parts
                     if len(mask) != len(in_sigs):
                         raise BlifError(
-                            f"cover row width {len(mask)} != {len(in_sigs)} "
-                            f"inputs in {lines[i]!r}"
-                        )
+                            f"cover row {row!r}: mask width {len(mask)} != "
+                            f"{len(in_sigs)} inputs of {out_sig!r}",
+                            filename, row_lineno)
                 else:
                     if len(parts) != 1:
-                        raise BlifError(f"bad constant row: {lines[i]!r}")
+                        raise BlifError(
+                            f"bad constant row {row!r}: expected a single "
+                            f"output value", filename, row_lineno)
                     mask, value = "", parts[0]
                 if value not in ("0", "1"):
-                    raise BlifError(f"bad output value in row {lines[i]!r}")
+                    raise BlifError(
+                        f"bad output value {value!r} in row {row!r} "
+                        f"(must be 0 or 1)", filename, row_lineno)
                 rows.append((mask, value))
                 i += 1
-            names_blocks.append((out_sig, in_sigs, rows))
+            names_blocks.append((lineno, out_sig, in_sigs, rows))
         elif directive == ".end":
             i += 1
         elif directive in (".latch", ".subckt", ".gate", ".mlatch"):
-            raise BlifError(f"unsupported BLIF directive: {directive}")
+            raise BlifError(
+                f"unsupported BLIF directive: {directive} (only the "
+                f"combinational subset is accepted, see docs/FORMATS.md)",
+                filename, lineno)
         else:
-            raise BlifError(f"unknown BLIF directive: {directive}")
+            raise BlifError(f"unknown BLIF directive: {directive}",
+                            filename, lineno)
 
-    return _build_network(model_name, inputs, outputs, names_blocks)
+    return _build_network(model_name, inputs, outputs, names_blocks,
+                          filename)
 
 
 def parse_blif_file(path: str) -> Network:
     """Parse a BLIF file from disk."""
     with open(path) as f:
-        return parse_blif(f.read())
+        return parse_blif(f.read(), filename=path)
 
 
 def _cover_from_rows(
-    num_inputs: int, rows: Sequence[Tuple[str, str]]
+    num_inputs: int, rows: Sequence[Tuple[str, str]],
+    filename: Optional[str], line: Optional[int], out_sig: str,
 ) -> SopCover:
     """Convert .names rows to an on-set SOP cover.
 
@@ -131,20 +171,31 @@ def _cover_from_rows(
     if values == {"0"}:
         off = SopCover(num_inputs, [Cube(mask) for mask, _ in rows])
         return (~off.to_truth_table()).to_sop()
-    raise BlifError("mixed on-set and off-set rows in one .names block")
+    raise BlifError(
+        f"mixed on-set and off-set rows in .names block for {out_sig!r}",
+        filename, line)
 
 
 def _build_network(
     model_name: str,
     inputs: List[str],
     outputs: List[str],
-    names_blocks: List[Tuple[str, List[str], List[Tuple[str, str]]]],
+    names_blocks: List[Tuple[int, str, List[str], List[Tuple[str, str]]]],
+    filename: Optional[str] = None,
 ) -> Network:
     net = Network(model_name)
-    defined = {out for out, _, _ in names_blocks}
+    defined: Dict[str, int] = {}
+    for lineno, out, _, _ in names_blocks:
+        if out in defined:
+            raise BlifError(
+                f"signal {out!r} driven by more than one .names block "
+                f"(first defined at line {defined[out]})", filename, lineno)
+        defined[out] = lineno
     for sig in inputs:
         if sig in defined:
-            raise BlifError(f"signal {sig!r} is both a .names output and an input")
+            raise BlifError(
+                f"signal {sig!r} is both a .names output and an input",
+                filename, defined[sig])
         net.add_primary_input(sig)
 
     # Build internal nodes in dependency order (blocks may appear unordered).
@@ -153,32 +204,42 @@ def _build_network(
     while remaining:
         progressed = False
         deferred = []
-        for out_sig, in_sigs, rows in remaining:
+        for lineno, out_sig, in_sigs, rows in remaining:
             if all(s in placed for s in in_sigs):
-                cover = _cover_from_rows(len(in_sigs), rows)
+                cover = _cover_from_rows(len(in_sigs), rows, filename,
+                                         lineno, out_sig)
                 node = net.add_node(out_sig, [placed[s] for s in in_sigs], cover)
                 placed[out_sig] = node
                 progressed = True
             else:
-                deferred.append((out_sig, in_sigs, rows))
+                deferred.append((lineno, out_sig, in_sigs, rows))
         if not progressed:
             missing = sorted(
                 {
                     s
-                    for _, in_sigs, _ in deferred
+                    for _, _, in_sigs, _ in deferred
                     for s in in_sigs
                     if s not in placed and s not in defined
                 }
             )
             if missing:
-                raise BlifError(f"undefined signals: {', '.join(missing)}")
-            raise BlifError("cyclic .names dependencies")
+                first = min(
+                    lineno for lineno, _, in_sigs, _ in deferred
+                    if any(s in missing for s in in_sigs)
+                )
+                raise BlifError(
+                    f"undefined signals: {', '.join(missing)}",
+                    filename, first)
+            cycle = sorted(out for _, out, _, _ in deferred)
+            raise BlifError(
+                f"cyclic .names dependencies among: {', '.join(cycle)}",
+                filename, min(lineno for lineno, _, _, _ in deferred))
         remaining = deferred
 
     for sig in outputs:
         driver = placed.get(sig)
         if driver is None:
-            raise BlifError(f"undriven primary output: {sig!r}")
+            raise BlifError(f"undriven primary output: {sig!r}", filename)
         net.add_primary_output(f"{sig}__po", driver)
     net.check()
     return net

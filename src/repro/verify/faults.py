@@ -1,0 +1,368 @@
+"""Fault injection: prove that every checker actually fires.
+
+A verification subsystem that has never seen a broken artifact is itself
+unverified.  Each :class:`FaultSpec` here deliberately corrupts one flow
+artifact — swapped gate pins, a wrong cell, a dropped backlink, a created
+cycle, an illegal lifecycle transition, overlapping cells, a non-monotone
+arrival — and names the checker family that must detect it.  The
+parametrized test in ``tests/verify/test_faults.py`` injects every fault
+into a fresh copy of a real flow's artifacts and asserts the audit fails
+in exactly that family.
+
+Injectors mutate the artifacts **in place**; callers own the copy (see
+:func:`copy_artifacts`).  Functional faults pick their victim by
+simulation: the corruption is only committed where it provably changes a
+primary-output word on reachable input vectors, so detection by the
+equivalence tier is guaranteed, not probabilistic.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.map.lifecycle import NodeState
+from repro.map.netlist import MappedNetwork, MappedNode
+from repro.network.simulate import _eval_tt_words
+from repro.network.subject import SubjectNodeType
+from repro.timing.sta import ArrivalTimes
+from repro.verify.audit import FlowArtifacts
+
+__all__ = ["FaultSpec", "FaultNotApplicable", "FAULTS", "inject_fault",
+           "copy_artifacts"]
+
+
+class FaultNotApplicable(RuntimeError):
+    """The artifact lacks the structure this fault needs (e.g. no
+    constant node to flip); the harness skips such faults per circuit."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deliberate corruption and the checker that must catch it.
+
+    Attributes:
+        name: unique fault id.
+        target: artifact the injector mutates (documentation only).
+        detected_by: checker-name prefix expected to fail after injection.
+        description: what the corruption models going wrong.
+        inject: mutator; returns a human-readable note of what it did.
+    """
+
+    name: str
+    target: str
+    detected_by: str
+    description: str
+    inject: Callable[[FlowArtifacts], str]
+
+
+FAULTS: Dict[str, FaultSpec] = {}
+
+
+def _fault(name: str, target: str, detected_by: str, description: str):
+    """Decorator registering an injector under ``name``."""
+    def wrap(fn: Callable[[FlowArtifacts], str]):
+        FAULTS[name] = FaultSpec(name, target, detected_by, description, fn)
+        return fn
+    return wrap
+
+
+def inject_fault(name: str, artifacts: FlowArtifacts) -> str:
+    """Apply the named fault to ``artifacts`` (mutating them)."""
+    return FAULTS[name].inject(artifacts)
+
+
+def copy_artifacts(artifacts: FlowArtifacts) -> FlowArtifacts:
+    """Deep-copy flow artifacts so a fault can be injected destructively.
+
+    The copy is self-consistent: object identities *within* the copy are
+    preserved (a node shared by two structures stays shared).
+    """
+    return copy.deepcopy(artifacts)
+
+
+# -- simulation helpers (victim selection) -----------------------------------
+
+
+def _value_words(mapped: MappedNetwork) -> Tuple[Dict[str, int], int]:
+    """Reachable value word per node: exhaustive if ≤12 PIs, else random."""
+    from repro.network.logic import TruthTable
+
+    pis = sorted(pi.name for pi in mapped.primary_inputs)
+    if len(pis) <= 12:
+        width = 1 << len(pis)
+        pi_words = {
+            name: TruthTable.variable(i, len(pis)).bits
+            for i, name in enumerate(pis)
+        }
+    else:
+        width = 1024
+        rng = random.Random(7)
+        pi_words = {name: rng.getrandbits(width) for name in pis}
+    mask = (1 << width) - 1
+    values: Dict[str, int] = {}
+    for node in mapped.topological_order():
+        if node.is_pi:
+            values[node.name] = pi_words[node.name]
+        elif node.is_po:
+            values[node.name] = values[node.fanins[0].name]
+        else:
+            words = [values[f.name] for f in node.fanins]
+            values[node.name] = _eval_tt_words(node.truth_table(), words, mask)
+    return values, width
+
+
+def _po_drivers(mapped: MappedNetwork) -> List[MappedNode]:
+    """Gates that directly drive a primary output, in PO order."""
+    out = []
+    for po in mapped.primary_outputs:
+        driver = po.fanins[0]
+        if driver.is_gate and driver not in out:
+            out.append(driver)
+    return out
+
+
+# -- functional faults (equivalence must fire) -------------------------------
+
+
+@_fault("mapped_swap_fanins", "mapped", "equiv",
+        "swap the first two input pins of a gate with an asymmetric cell")
+def _inject_swap_fanins(a: FlowArtifacts) -> str:
+    values, width = _value_words(a.mapped)
+    mask = (1 << width) - 1
+    for gate in _po_drivers(a.mapped) + a.mapped.gates:
+        if len(gate.fanins) < 2 or gate.fanins[0] is gate.fanins[1]:
+            continue
+        tt = gate.truth_table()
+        words = [values[f.name] for f in gate.fanins]
+        swapped = [words[1], words[0]] + words[2:]
+        if _eval_tt_words(tt, words, mask) == _eval_tt_words(tt, swapped, mask):
+            continue  # symmetric here: the swap would be invisible
+        gate.fanins[0], gate.fanins[1] = gate.fanins[1], gate.fanins[0]
+        return f"swapped pins 0/1 of {gate.name} ({gate.cell.name})"
+    raise FaultNotApplicable("no gate with a pin-order-sensitive cell")
+
+
+@_fault("mapped_wrong_cell", "mapped", "equiv",
+        "replace a gate's cell with a same-arity cell of another function")
+def _inject_wrong_cell(a: FlowArtifacts) -> str:
+    values, width = _value_words(a.mapped)
+    mask = (1 << width) - 1
+    cells_by_arity: Dict[int, List] = {}
+    for g in a.mapped.gates:
+        arity_cells = cells_by_arity.setdefault(g.cell.num_inputs, [])
+        if all(c.name != g.cell.name for c in arity_cells):
+            arity_cells.append(g.cell)
+    for gate in _po_drivers(a.mapped) + a.mapped.gates:
+        if not gate.is_gate:
+            continue
+        words = [values[f.name] for f in gate.fanins]
+        original = _eval_tt_words(gate.truth_table(), words, mask)
+        for cell in cells_by_arity.get(len(gate.fanins), []):
+            if cell.name == gate.cell.name:
+                continue
+            if _eval_tt_words(cell.truth_table, words, mask) == original:
+                continue  # same function on reachable vectors
+            old = gate.cell.name
+            gate.cell = cell
+            return f"replaced {gate.name}: {old} -> {cell.name}"
+    raise FaultNotApplicable("no same-arity cell pair with different function")
+
+
+@_fault("mapped_rewire_po", "mapped", "equiv",
+        "reconnect a primary output to a signal with a different function")
+def _inject_rewire_po(a: FlowArtifacts) -> str:
+    values, _width = _value_words(a.mapped)
+    for po in a.mapped.primary_outputs:
+        old = po.fanins[0]
+        for candidate in a.mapped.gates:
+            if candidate is old:
+                continue
+            if values[candidate.name] == values[old.name]:
+                continue  # same signal, swap would be invisible
+            old.fanouts.remove(po)
+            po.fanins[0] = candidate
+            candidate.fanouts.append(po)
+            return f"rewired {po.name}: {old.name} -> {candidate.name}"
+    raise FaultNotApplicable("no alternative driver with a different signal")
+
+
+@_fault("mapped_const_flip", "mapped", "equiv",
+        "invert a constant source's value")
+def _inject_const_flip(a: FlowArtifacts) -> str:
+    for node in a.mapped.nodes:
+        if node.is_constant and node.fanouts:
+            node.const_value = not node.const_value
+            return f"flipped constant {node.name}"
+    raise FaultNotApplicable("netlist has no live constant node")
+
+
+# -- structural faults on the mapped netlist ---------------------------------
+
+
+@_fault("mapped_drop_backlink", "mapped", "invariant.mapped.links",
+        "remove a fanout backlink so fanin/fanout lists disagree")
+def _inject_drop_backlink(a: FlowArtifacts) -> str:
+    for gate in a.mapped.gates:
+        if gate.fanins:
+            fanin = gate.fanins[0]
+            fanin.fanouts.remove(gate)
+            return f"dropped {fanin.name} -> {gate.name} backlink"
+    raise FaultNotApplicable("no gate with fanins")
+
+
+@_fault("mapped_cycle", "mapped", "invariant.mapped.acyclic",
+        "rewire a gate input onto a transitive fanout, creating a cycle")
+def _inject_cycle(a: FlowArtifacts) -> str:
+    # Feed a PO-driving gate's output back into a gate of its own cone.
+    for gate in _po_drivers(a.mapped):
+        cone = a.mapped.transitive_fanin([gate])
+        for inner in cone:
+            if inner is gate or not inner.is_gate or not inner.fanins:
+                continue
+            old = inner.fanins[0]
+            old.fanouts.remove(inner)
+            inner.fanins[0] = gate
+            gate.fanouts.append(inner)
+            return f"cycle: {gate.name} feeds its own cone member {inner.name}"
+    raise FaultNotApplicable("no multi-gate cone to close a cycle in")
+
+
+@_fault("mapped_pin_count", "mapped", "invariant.mapped.arity",
+        "give a gate more fanins than its cell has pins")
+def _inject_pin_count(a: FlowArtifacts) -> str:
+    for gate in a.mapped.gates:
+        if gate.fanins:
+            extra = gate.fanins[0]
+            gate.fanins.append(extra)
+            extra.fanouts.append(gate)
+            return f"added surplus pin to {gate.name}"
+    raise FaultNotApplicable("no gate with fanins")
+
+
+# -- subject-graph faults ----------------------------------------------------
+
+
+@_fault("subject_arity", "subject", "invariant.subject.arity",
+        "give an inverter a second fanin")
+def _inject_subject_arity(a: FlowArtifacts) -> str:
+    for node in a.subject.nodes:
+        if node.type is SubjectNodeType.INV:
+            extra = node.fanins[0]
+            node.fanins.append(extra)
+            extra.fanouts.append(node)
+            return f"inverter {node.name} now has 2 fanins"
+    raise FaultNotApplicable("subject graph has no inverter")
+
+
+@_fault("subject_strash_dup", "subject", "invariant.subject.strash",
+        "create a second NAND2 over an already-hashed fanin pair")
+def _inject_strash_dup(a: FlowArtifacts) -> str:
+    for node in a.subject.nodes:
+        if node.type is SubjectNodeType.NAND2:
+            dup = a.subject._new_node(
+                None, SubjectNodeType.NAND2, list(node.fanins)
+            )
+            return f"duplicated NAND2 {node.name} as {dup.name}"
+    raise FaultNotApplicable("subject graph has no NAND2 node")
+
+
+# -- cone-partition faults ---------------------------------------------------
+
+
+@_fault("cones_missing_gate", "cones", "invariant.cones.partition",
+        "remove one gate from a cone's membership set")
+def _inject_cone_gap(a: FlowArtifacts) -> str:
+    from repro.map.cones import logic_cones
+
+    if a.cones is None:
+        a.cones = logic_cones(a.subject)
+    for po, cone in a.cones:
+        if cone:
+            victim = next(iter(cone))
+            cone.discard(victim)
+            return f"removed {victim.name} from cone of {po.name}"
+    raise FaultNotApplicable("no non-empty cone")
+
+
+# -- lifecycle faults --------------------------------------------------------
+
+
+@_fault("lifecycle_illegal", "lifecycle", "invariant.lifecycle",
+        "record a hawk reverting to an egg (forbidden by Figure 2.2)")
+def _inject_lifecycle_illegal(a: FlowArtifacts) -> str:
+    for uid, state in a.lifecycle._state.items():
+        if state is NodeState.HAWK:
+            a.lifecycle.history.append((uid, NodeState.HAWK, NodeState.EGG))
+            a.lifecycle._state[uid] = NodeState.EGG
+            return f"uid {uid}: hawk -> egg recorded"
+    raise FaultNotApplicable("no hawk in the lifecycle tracker")
+
+
+@_fault("lifecycle_unfinished", "lifecycle", "invariant.lifecycle",
+        "leave a live gate stuck as a nestling after mapping")
+def _inject_lifecycle_unfinished(a: FlowArtifacts) -> str:
+    for node in a.subject.transitive_fanin(a.subject.primary_outputs):
+        if node.is_gate:
+            a.lifecycle._state[node.uid] = NodeState.NESTLING
+            return f"{node.name} forced back to nestling"
+    raise FaultNotApplicable("no live gate")
+
+
+# -- placement faults --------------------------------------------------------
+
+
+@_fault("place_overlap", "placement", "invariant.place",
+        "slide one placed cell on top of its row neighbour")
+def _inject_place_overlap(a: FlowArtifacts) -> str:
+    for row in a.placement.rows:
+        if len(row.cells) < 2:
+            continue
+        first, second = row.cells[0], row.cells[1]
+        lo1, hi1 = row.x_spans[first]
+        lo2, hi2 = row.x_spans[second]
+        row.x_spans[second] = (lo1 + (hi1 - lo1) / 2.0,
+                               lo1 + (hi1 - lo1) / 2.0 + (hi2 - lo2))
+        return f"{second} slid onto {first} in row {row.index}"
+    raise FaultNotApplicable("no row with two cells")
+
+
+@_fault("place_missing", "placement", "invariant.place.coverage",
+        "lose a gate's placement entirely")
+def _inject_place_missing(a: FlowArtifacts) -> str:
+    for row in a.placement.rows:
+        if row.cells:
+            victim = row.cells[0]
+            row.cells.remove(victim)
+            del row.x_spans[victim]
+            a.placement.positions.pop(victim, None)
+            return f"{victim} removed from placement"
+    raise FaultNotApplicable("placement has no cells")
+
+
+# -- timing faults -----------------------------------------------------------
+
+
+@_fault("timing_arrival_drop", "timing", "invariant.timing",
+        "make a gate's arrival earlier than its fanin's (non-causal)")
+def _inject_arrival_drop(a: FlowArtifacts) -> str:
+    for gate in a.mapped.gates:
+        for fanin in gate.fanins:
+            t_in = a.timing.arrivals.get(fanin.name)
+            if t_in is not None and t_in.worst > 0:
+                a.timing.arrivals[gate.name] = ArrivalTimes.at(
+                    t_in.worst - 1.0
+                )
+                return f"{gate.name} arrival forced below {fanin.name}"
+    raise FaultNotApplicable("no gate downstream of a nonzero arrival")
+
+
+@_fault("timing_load_negative", "timing", "invariant.timing.loads",
+        "record a physically impossible negative load")
+def _inject_negative_load(a: FlowArtifacts) -> str:
+    for name in a.timing.loads:
+        a.timing.loads[name] = -1.0
+        return f"load of {name} set to -1.0"
+    raise FaultNotApplicable("timing report has no loads")

@@ -1,0 +1,44 @@
+"""Every script in examples/ must run clean, start to finish.
+
+The examples are the first code a reader executes; a refactor that breaks
+one is a documentation bug even when the library tests stay green.  Each
+script exposes ``main()``, prints to stdout and (at most) writes into a
+tempdir of its own making, so importing and calling it is a complete
+smoke test.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLE_SCRIPTS, f"no example scripts under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/pickling inside the example resolve the
+    # module by name, then import (top-level code runs, main() doesn't:
+    # every example guards it with __name__ == "__main__").
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{script} has no main()"
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"

@@ -56,6 +56,56 @@ class TestParse:
                          "GATE nand2 1 O=!(a*b); PIN * INV 0.2 99 1 1 1 1\n")
 
 
+class TestErrorContext:
+    """Parse errors name the file, line and offending token."""
+
+    def test_malformed_gate_is_an_error_not_a_skip(self):
+        text = MINI + "GATE broken 1 O=\n"
+        with pytest.raises(GenlibError) as exc_info:
+            parse_genlib(text, filename="lib.genlib")
+        err = exc_info.value
+        assert err.filename == "lib.genlib"
+        assert err.line == text.count("\n")
+        assert "GATE broken" in str(err)
+
+    def test_malformed_pin_is_an_error_not_a_skip(self):
+        with pytest.raises(GenlibError) as exc_info:
+            parse_genlib("GATE inv 1 O=!a;\nPIN a INV 0.2 99 1 1 1\n",
+                         filename="lib.genlib")
+        err = exc_info.value
+        assert err.line == 2
+        assert "'inv'" in str(err)
+        assert str(err).startswith("lib.genlib:2: ")
+
+    def test_latch_has_line(self):
+        with pytest.raises(GenlibError) as exc_info:
+            parse_genlib("GATE inv 1 O=!a; PIN * INV 0.2 99 1 1 1 1\n"
+                         "LATCH d 1 Q=d;\n")
+        assert exc_info.value.line == 2
+
+    def test_missing_pin_names_gate_line(self):
+        with pytest.raises(GenlibError) as exc_info:
+            parse_genlib("GATE inv 1 O=!a; PIN * INV 0.2 99 1 1 1 1\n"
+                         "GATE g 1 O=a*b;\nPIN a INV 0.2 99 1 1 1 1\n")
+        err = exc_info.value
+        assert err.line == 2
+        assert "'b'" in str(err)
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(GenlibError, match="do not appear"):
+            parse_genlib("GATE g 1 O=a*b;\n"
+                         "PIN * INV 0.2 99 1 1 1 1\n"
+                         "PIN zz INV 0.2 99 1 1 1 1\n")
+
+    def test_default_filename_placeholder(self):
+        with pytest.raises(GenlibError, match=r"^<genlib>: no GATE"):
+            parse_genlib("# empty\n")
+
+    def test_is_still_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_genlib("LATCH d 1 Q=d;\n")
+
+
 class TestRoundTrip:
     def test_write_and_reparse(self):
         lib = parse_genlib(MINI, name="mini")

@@ -129,6 +129,61 @@ class TestParsingErrors:
                 ".model m\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n"
             )
 
+    def test_duplicate_driver(self):
+        with pytest.raises(BlifError, match="more than one"):
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n"
+                ".names a f\n1 1\n.names a f\n0 1\n.end\n"
+            )
+
+
+class TestErrorContext:
+    """Parse errors name the file, line and offending token."""
+
+    def test_bad_row_has_line_and_file(self):
+        with pytest.raises(BlifError) as exc_info:
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 2\n.end\n",
+                filename="bad.blif",
+            )
+        err = exc_info.value
+        assert err.filename == "bad.blif"
+        assert err.line == 5
+        assert str(err).startswith("bad.blif:5: ")
+        assert "'2'" in str(err)
+
+    def test_default_filename_placeholder(self):
+        with pytest.raises(BlifError, match=r"^<blif>:2: "):
+            parse_blif(".model m\n.latch a b\n.end\n")
+
+    def test_continuation_reports_first_physical_line(self):
+        with pytest.raises(BlifError) as exc_info:
+            parse_blif(".model m\n.baddir \\\nx y\n.end\n")
+        assert exc_info.value.line == 2
+
+    def test_undefined_signal_names_block_line(self):
+        with pytest.raises(BlifError) as exc_info:
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n"
+                ".names a ghost f\n11 1\n.end\n"
+            )
+        assert exc_info.value.line == 4
+        assert "ghost" in str(exc_info.value)
+
+    def test_is_still_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_blif(".model m\n.unknown\n.end\n")
+
+    def test_parse_blif_file_carries_path(self, tmp_path):
+        from repro.network.blif import parse_blif_file
+
+        path = tmp_path / "broken.blif"
+        path.write_text(".model m\n.inputs a\n.outputs f\n.gate x\n.end\n")
+        with pytest.raises(BlifError) as exc_info:
+            parse_blif_file(str(path))
+        assert exc_info.value.filename == str(path)
+        assert exc_info.value.line == 4
+
 
 class TestRoundTrip:
     CASES = [

@@ -87,3 +87,18 @@ def test_delay_mappers_fast_vs_naive(subjects, big_lib):
         for name, perf in VARIANTS.items():
             fp = _fingerprint(cls(big_lib, perf=perf).map(subject))
             assert fp == golden, f"{cls.__name__}/{name} diverged"
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_fast_audit_of_fast_path_results(subjects, big_lib, circuit):
+    """Fast-path results don't just match the naive fingerprint — they
+    also pass the full fast-tier ``repro.verify`` audit (structural
+    invariants + source↔mapped equivalence), so perf work inherits the
+    checkers automatically."""
+    from repro.verify import audit_mapping
+
+    net = build_circuit(circuit)
+    for cls in (LilyAreaMapper, MisAreaMapper):
+        result = cls(big_lib).map(subjects[circuit])
+        report = audit_mapping(result, net=net, level="fast")
+        report.raise_on_failure()

@@ -1,0 +1,109 @@
+"""The documentation gates, run as tests.
+
+Two layers: (a) the gates pass on the repository as committed — broken
+doc links or undocumented ``repro.verify`` / flow API fail the tier-1
+suite, not just the CI docs job; (b) the gate tools themselves detect
+seeded violations, so a silently broken checker is caught too.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+
+#: The scope of the docstring-coverage gate: the verification subsystem
+#: and the public flow API (keep in sync with the CI docs job).
+DOCSTRING_SCOPE = [
+    "src/repro/verify",
+    "src/repro/flow/pipeline.py",
+    "src/repro/flow/tables.py",
+    "src/repro/flow/__main__.py",
+]
+
+DOC_FILES = ["README.md"] + sorted(
+    str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+)
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_docstrings():
+    return _load_tool("check_docstrings")
+
+
+@pytest.fixture(scope="module")
+def check_links():
+    return _load_tool("check_links")
+
+
+class TestRepositoryPasses:
+    def test_docstring_coverage(self, check_docstrings, capsys):
+        paths = [str(REPO_ROOT / p) for p in DOCSTRING_SCOPE]
+        code = check_docstrings.main(paths)
+        assert code == 0, capsys.readouterr().out
+
+    def test_docs_exist(self):
+        assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+        assert (REPO_ROOT / "docs" / "VERIFYING.md").is_file()
+        assert (REPO_ROOT / "docs" / "FORMATS.md").is_file()
+
+    def test_readme_and_docs_links(self, check_links, capsys):
+        files = [str(REPO_ROOT / f) for f in DOC_FILES]
+        code = check_links.main(files + ["--root", str(REPO_ROOT)])
+        assert code == 0, capsys.readouterr().out
+
+
+class TestGatesDetect:
+    def test_missing_docstring_detected(self, check_docstrings, tmp_path,
+                                        capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text('"""Module doc."""\n\ndef public_fn():\n    pass\n')
+        assert check_docstrings.main([str(bad)]) == 1
+        assert "public_fn" in capsys.readouterr().out
+
+    def test_private_names_exempt(self, check_docstrings, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text('"""Module doc."""\n\ndef _helper():\n    pass\n')
+        assert check_docstrings.main([str(ok)]) == 0
+
+    def test_broken_relative_link_detected(self, check_links, tmp_path,
+                                           capsys):
+        md = tmp_path / "page.md"
+        md.write_text("see [other](missing.md) for more\n")
+        assert check_links.main([str(md), "--root", str(tmp_path)]) == 1
+        assert "missing.md" in capsys.readouterr().out
+
+    def test_stale_line_pointer_detected(self, check_links, tmp_path, capsys):
+        src = tmp_path / "src" / "mod.py"
+        src.parent.mkdir()
+        src.write_text("x = 1\n")
+        md = tmp_path / "page.md"
+        md.write_text("defined at src/mod.py:99\n")
+        assert check_links.main([str(md), "--root", str(tmp_path)]) == 1
+        assert "src/mod.py:99" in capsys.readouterr().out
+
+    def test_line_fragment_checked(self, check_links, tmp_path, capsys):
+        target = tmp_path / "code.py"
+        target.write_text("a = 1\nb = 2\n")
+        md = tmp_path / "page.md"
+        md.write_text("[code](code.py#L50)\n")
+        assert check_links.main([str(md), "--root", str(tmp_path)]) == 1
+        assert "#L50" in capsys.readouterr().out
+
+    def test_external_links_skipped(self, check_links, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text("[x](https://example.com/nope) [y](#anchor)\n")
+        assert check_links.main([str(md), "--root", str(tmp_path)]) == 0

@@ -1,0 +1,35 @@
+"""Fixtures for the verification-subsystem tests.
+
+The expensive artifacts (a full flow on misex1) are built once per module
+and deep-copied per test by the consumers that mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.flow.pipeline import lily_flow
+from repro.timing.model import WireCapModel
+from repro.verify.audit import FlowArtifacts
+
+
+@pytest.fixture(scope="package")
+def misex1_net():
+    return build_circuit("misex1")
+
+
+@pytest.fixture(scope="package")
+def misex1_flow(misex1_net, big_lib):
+    return lily_flow(misex1_net, big_lib, mode="area", verify=False)
+
+
+@pytest.fixture(scope="package")
+def misex1_artifacts(misex1_net, misex1_flow):
+    flow = misex1_flow
+    artifacts = FlowArtifacts.from_flow(
+        misex1_net, flow.map_result, flow.backend,
+        wire_model=WireCapModel(),
+    )
+    artifacts.cones = None
+    return artifacts

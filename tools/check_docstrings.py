@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate.
+
+Walks the given Python files/packages and reports every public module,
+class, function and method that lacks a docstring.  "Public" means the
+name (and every enclosing scope) has no leading underscore; dunder
+methods other than ``__init__`` are exempt.
+
+The repository gate is scoped (see the CI ``docs`` job) to the
+``repro.verify`` package and the public API modules of ``repro.flow`` —
+the subsystems this documentation layer promises are fully described.
+
+Usage:
+    python tools/check_docstrings.py PATH [PATH ...]
+
+Exits 1 and lists offenders if any are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(paths: List[str]) -> Iterator[Path]:
+    """Expand files and directories into .py files, sorted for stable output."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name == "__init__"
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: Path) -> List[Tuple[int, str]]:
+    """(line, qualified-name) for every public definition without a docstring."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders: List[Tuple[int, str]] = []
+    if ast.get_docstring(tree) is None:
+        offenders.append((1, "<module>"))
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                # Recurse through if/try at module or class level, but not
+                # into function bodies: nested helpers are implementation.
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    visit(child, prefix)
+                continue
+            if not _is_public(child.name):
+                continue
+            qualname = f"{prefix}{child.name}"
+            if ast.get_docstring(child) is None:
+                # __init__ may document itself in the class docstring.
+                if child.name != "__init__":
+                    offenders.append((child.lineno, qualname))
+            if isinstance(child, ast.ClassDef):
+                visit(child, qualname + ".")
+
+    visit(tree, "")
+    return offenders
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="fail when public definitions lack docstrings")
+    parser.add_argument("paths", nargs="+",
+                        help="python files or package directories")
+    args = parser.parse_args(argv)
+
+    total = 0
+    checked = 0
+    for path in iter_python_files(args.paths):
+        checked += 1
+        for lineno, name in missing_docstrings(path):
+            print(f"{path}:{lineno}: missing docstring: {name}")
+            total += 1
+    if not checked:
+        print("check_docstrings: no python files found", file=sys.stderr)
+        return 2
+    if total:
+        print(f"\n{total} public definitions lack docstrings "
+              f"({checked} files checked)")
+        return 1
+    print(f"docstring coverage ok ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

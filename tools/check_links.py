@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository docs.
+
+Validates, for every given markdown file:
+
+* **relative links** ``[text](target)`` — the target file (or directory)
+  must exist, resolved against the markdown file's own directory;
+  external (``http://``, ``https://``, ``mailto:``) and pure-anchor
+  (``#...``) targets are skipped;
+* **line fragments** ``(path#L42)`` — the target file must have at least
+  42 lines;
+* **file:line pointers** like ``src/repro/map/lifecycle.py:40`` appearing
+  anywhere in the text — the file must exist and be at least that long,
+  so the pointers in the glossary stay honest as the code moves.
+
+Usage:
+    python tools/check_links.py README.md docs/*.md
+
+Exits 1 and lists every broken reference if any are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FILE_LINE_RE = re.compile(r"(?<![\w/.-])((?:src|tests|docs|examples|tools|"
+                          r"benchmarks)/[\w./-]+\.\w+):(\d+)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _line_count(path: Path) -> int:
+    return path.read_text(errors="replace").count("\n") + 1
+
+
+def check_file(md_path: Path, repo_root: Path) -> List[str]:
+    """Return human-readable problem strings for one markdown file."""
+    text = md_path.read_text()
+    problems: List[str] = []
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        lineno = text.count("\n", 0, m.start()) + 1
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        target, _, fragment = target.partition("#")
+        resolved = (md_path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{md_path}:{lineno}: broken link -> {target}")
+            continue
+        frag_line = re.fullmatch(r"L(\d+)", fragment)
+        if frag_line and resolved.is_file():
+            want = int(frag_line.group(1))
+            have = _line_count(resolved)
+            if want > have:
+                problems.append(
+                    f"{md_path}:{lineno}: {target}#L{want} beyond "
+                    f"end of file ({have} lines)")
+
+    for m in FILE_LINE_RE.finditer(text):
+        target, line_s = m.group(1), m.group(2)
+        lineno = text.count("\n", 0, m.start()) + 1
+        resolved = repo_root / target
+        if not resolved.is_file():
+            problems.append(
+                f"{md_path}:{lineno}: pointer to missing file {target}")
+            continue
+        want = int(line_s)
+        have = _line_count(resolved)
+        if want > have:
+            problems.append(
+                f"{md_path}:{lineno}: pointer {target}:{want} beyond "
+                f"end of file ({have} lines)")
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="fail on broken relative links / file:line pointers")
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument("--root", default=".",
+                        help="repository root for file:line pointers "
+                             "(default: cwd)")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(args.root).resolve()
+    total = 0
+    for name in args.files:
+        md_path = Path(name)
+        if not md_path.is_file():
+            print(f"{name}: no such markdown file", file=sys.stderr)
+            return 2
+        for problem in check_file(md_path, repo_root):
+            print(problem)
+            total += 1
+    if total:
+        print(f"\n{total} broken references in {len(args.files)} files")
+        return 1
+    print(f"links ok ({len(args.files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
