@@ -26,8 +26,11 @@ import sys
 
 from perf_snapshot import snapshot
 
-#: Components the regression gate watches (the mapping hot path).
-WATCHED = ("lily_map", "mis_map")
+#: Components the regression gate watches: the mapping hot path (PR 2)
+#: plus the incremental layout/timing engines (PR 4).  Only rows present
+#: in the chosen baseline are compared, so older baselines keep working.
+WATCHED = ("lily_map", "mis_map", "anneal", "detailed_improve",
+           "sta_moves")
 
 
 def newest_baseline() -> str:

@@ -13,24 +13,36 @@ fast paths, which is exactly the point: the artifact records what a user
 gets out of the box.  ``--jobs`` additionally enables the parallel cone
 match pre-warm for the mapper rows.
 
+PR 4 adds the incremental-engine rows (``anneal`` / ``detailed_improve``
+/ ``sta_moves``, each with a ``_naive`` twin running the same work with
+the caches off) and a ``--suite`` mode that times a whole Table 1 run
+sequentially and with ``--procs N``, recording per-circuit phase times
+from the merged observability reports.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 2] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--pr 4] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--suite] [--procs 4]
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import json
+import os
 import platform
+import random
 import sys
 from time import perf_counter
 from typing import Callable, Dict
 
-from repro.area.estimate import subject_image
+from repro.area.estimate import mapped_image, subject_image
 from repro.circuits.suite import build_circuit
 from repro.core.lily import LilyAreaMapper
+from repro.flow.pipeline import pads_from_order
+from repro.geometry import Point
 from repro.library.patterns import pattern_set_for
 from repro.library.standard import big_library
 from repro.map.mis import MisAreaMapper
@@ -38,10 +50,13 @@ from repro.match.treematch import Matcher
 from repro.network.decompose import decompose_to_subject
 from repro.obs import OBS, observed
 from repro.perf import PerfOptions
+from repro.place.anneal import simulated_annealing
+from repro.place.detailed import detailed_place
 from repro.place.global_place import GlobalPlacer
-from repro.place.hypergraph import subject_netlist
-from repro.place.pads import assign_pads
+from repro.place.hypergraph import mapped_netlist, subject_netlist
+from repro.place.pads import assign_pads, io_affinity_order
 from repro.route.channel import left_edge_route
+from repro.timing.model import WireCapModel
 from repro.timing.sta import analyze
 
 
@@ -94,6 +109,7 @@ def snapshot(
         ),
         "sta": _best_of(lambda: analyze(mapped, wire_model=None), repeats),
     }
+    timings.update(_layout_rows(net, mapped, repeats))
     # The same matcher sweep with tracing+metrics live, so the snapshot
     # records the observability overhead explicitly.
     with observed():
@@ -104,17 +120,135 @@ def snapshot(
     return timings
 
 
+def _layout_rows(net, mapped, repeats: int) -> Dict[str, float]:
+    """The incremental-engine rows: each paired with a ``_naive`` twin
+    running identical work with the bounding-box / dirty-frontier caches
+    off (results are bit-identical; only the bookkeeping differs)."""
+    from repro.timing.incremental import IncrementalTiming
+
+    region = mapped_image(mapped.total_cell_area())
+    order = io_affinity_order(net)
+    known = {n.name for n in mapped.primary_inputs}
+    known.update(n.name for n in mapped.primary_outputs)
+    pads = pads_from_order([nm for nm in order if nm in known], region)
+    netlist = mapped_netlist(mapped, pads)
+    gp = GlobalPlacer().place(netlist, region).positions
+    base = detailed_place(netlist, gp, improvement_passes=0)
+
+    def run_anneal(incremental: bool):
+        simulated_annealing(copy.deepcopy(base), netlist, seed=0,
+                            moves_per_cell=12, incremental=incremental)
+
+    def run_detailed(incremental: bool):
+        detailed_place(netlist, gp, improvement_passes=8,
+                       incremental=incremental)
+
+    wire_model = WireCapModel()
+    for node in mapped.topological_order():
+        p = base.positions.get(node.name) or pads.get(node.name)
+        if p is not None:
+            node.position = p
+    saved = {g.name: g.position for g in mapped.gates}
+
+    def moves(seed: int = 11, count: int = 40):
+        rng = random.Random(seed)
+        gates = sorted(saved)
+        for _ in range(count):
+            name = gates[rng.randrange(len(gates))]
+            p = mapped[name].position
+            yield name, Point(p.x + rng.uniform(-3, 3),
+                              p.y + rng.uniform(-3, 3))
+
+    def run_sta_full():
+        for name, p in moves():
+            mapped[name].position = p
+            analyze(mapped, wire_model=wire_model)
+        for name, p in saved.items():
+            mapped[name].position = p
+
+    def run_sta_incremental():
+        engine = IncrementalTiming(mapped, wire_model=wire_model)
+        for name, p in moves():
+            engine.set_position(name, p)
+            engine.update()
+        for name, p in saved.items():
+            mapped[name].position = p
+
+    return {
+        "anneal": _best_of(lambda: run_anneal(True), repeats),
+        "anneal_naive": _best_of(lambda: run_anneal(False), repeats),
+        "detailed_improve": _best_of(lambda: run_detailed(True), repeats),
+        "detailed_improve_naive": _best_of(
+            lambda: run_detailed(False), repeats),
+        "sta_moves": _best_of(run_sta_incremental, repeats),
+        "sta_moves_naive": _best_of(run_sta_full, repeats),
+    }
+
+
+def suite_snapshot(procs: int = 4) -> Dict[str, object]:
+    """Time a full Table 1 run sequentially and with a process pool.
+
+    Both runs collect per-flow observability reports (the workers bring
+    their own sessions), so the recorded wall times carry the same
+    tracing overhead and the artifact keeps per-circuit phase times.
+    """
+    from repro.circuits.suite import TABLE1_CIRCUITS
+    from repro.flow.tables import run_table1
+    from repro.obs import merge_reports
+
+    assert not OBS.enabled
+    seq_obs = []
+    OBS.enable()
+    try:
+        start = perf_counter()
+        run_table1(verify=False, obs_out=seq_obs)
+        seq_s = perf_counter() - start
+    finally:
+        OBS.disable()
+    par_obs = []
+    start = perf_counter()
+    run_table1(verify=False, procs=procs, obs_out=par_obs)
+    par_s = perf_counter() - start
+
+    circuits: Dict[str, Dict[str, float]] = {}
+    for report in seq_obs:
+        row = circuits.setdefault(report.circuit, {})
+        row[f"{report.flow}_wall_s"] = round(report.wall_s, 6)
+        for phase in ("map", "backend"):
+            p = report.phase(phase)
+            if p is not None:
+                row[f"{report.flow}_{phase}_s"] = round(p.total_s, 6)
+    merged = merge_reports(par_obs)
+    return {
+        "circuits_run": list(TABLE1_CIRCUITS),
+        "procs": procs,
+        # Pool speedup is bounded by the host: on a 1-CPU box the
+        # parallel run only measures pool overhead.
+        "host_cpus": os.cpu_count(),
+        "table1_seq_s": round(seq_s, 6),
+        f"table1_procs{procs}_s": round(par_s, 6),
+        "speedup": round(seq_s / par_s, 3) if par_s else 0.0,
+        "worker_wall_sum_s": round(merged.wall_s, 6) if merged else 0.0,
+        "circuits": circuits,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("out", nargs="?", default=None,
                         help="output path (default BENCH_PR<n>.json)")
-    parser.add_argument("--pr", type=int, default=2,
+    parser.add_argument("--pr", type=int, default=4,
                         help="PR number stamped into the artifact")
     parser.add_argument("--circuit", default="C880")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--jobs", type=int, default=1,
                         help="threads for the parallel cone match pre-warm "
                              "in the mapper rows")
+    parser.add_argument("--suite", action="store_true",
+                        help="also time a full Table 1 run sequentially "
+                             "vs --procs N and record per-circuit phases")
+    parser.add_argument("--procs", type=int, default=4,
+                        help="process-pool width for --suite")
     args = parser.parse_args(argv)
     out = args.out or f"BENCH_PR{args.pr}.json"
 
@@ -126,12 +260,20 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
     }
+    if args.suite:
+        doc["suite"] = suite_snapshot(procs=args.procs)
     with open(out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
     print(f"wrote {out}")
     for name, seconds in sorted(timings.items()):
-        print(f"  {name:<20}{seconds:>10.4f}s")
+        print(f"  {name:<24}{seconds:>10.4f}s")
+    if args.suite:
+        s = doc["suite"]
+        print(f"  table1 sequential     {s['table1_seq_s']:>10.4f}s")
+        print(f"  table1 --procs {args.procs:<2}     "
+              f"{s[f'table1_procs{args.procs}_s']:>10.4f}s "
+              f"(x{s['speedup']:.2f})")
     return 0
 
 

@@ -38,7 +38,6 @@ from repro.perf.netcache import NetCache
 from repro.place.global_place import GlobalPlacer
 from repro.place.hypergraph import subject_netlist
 from repro.place.pads import assign_pads
-from repro.place.quadratic import solve_quadratic
 from repro.route.wirelength import chung_hwang_factor
 from repro.timing.model import WireCapModel
 
@@ -98,6 +97,9 @@ class _LilyMixin:
         #: ``perf.incremental_nets`` is on.
         self._tf_cache: Dict[int, List[SubjectNode]] = {}
         self._netcache: Optional[NetCache] = None
+        #: Cached quadratic-system assembly reused by every periodic
+        #: re-place (anchors only touch the diagonal/rhs).
+        self._quad_system = None
 
     def _true_fanouts(self, node: SubjectNode) -> List[SubjectNode]:
         if self._netcache is not None:
@@ -207,6 +209,13 @@ class _LilyMixin:
         One quadratic solve with hawks pulled strongly toward their
         mapPositions; all gates (eggs and hawks alike) receive fresh
         placePositions, restoring balance after constructive updates.
+
+        The system assembly is cached across re-places (only the hawk
+        anchors change between calls), and with ``perf.warm_replace`` the
+        solver starts from the current placePositions instead of solving
+        cold — on the iterative-CG path (large netlists) that converges in
+        far fewer iterations, at the price of matching a cold solve only
+        to solver tolerance rather than bitwise.
         """
         if OBS.enabled:
             OBS.metrics.counter("lily.replacements").inc()
@@ -218,10 +227,24 @@ class _LilyMixin:
                 p = self.state.map_position(node)
                 if p is not None:
                     anchors[node.name] = (p, 1.0)
-        with OBS.span("lily.replace", anchors=len(anchors)):
-            positions = solve_quadratic(
-                self._netlist, self.placement_region, anchors=anchors
+        if self._quad_system is None:
+            from repro.place.quadratic import QuadraticSystem
+
+            self._quad_system = QuadraticSystem(
+                self._netlist, self.placement_region
             )
+        initial: Optional[Dict[str, Point]] = None
+        if getattr(self.perf, "warm_replace", False):
+            state = self.state
+            initial = {
+                node.name: state.place_position(node)
+                for node in self.subject.nodes
+                if node.is_gate
+            }
+            if OBS.enabled:
+                OBS.metrics.counter("perf.incremental.warm_replaces").inc()
+        with OBS.span("lily.replace", anchors=len(anchors)):
+            positions = self._quad_system.solve(anchors, initial=initial)
         for node in self.subject.nodes:
             if node.is_gate:
                 p = positions.get(node.name)

@@ -44,40 +44,74 @@ def main(argv=None) -> int:
                         help="write the Lily layout as SVG (report only)")
     parser.add_argument("--profile", action="store_true",
                         help="print the per-phase time/counter breakdown "
-                             "(report only)")
+                             "(report: per flow; table1/table2: one "
+                             "profile merged over every circuit)")
     parser.add_argument("--trace", default=None, metavar="OUT.JSON",
                         help="write a Chrome trace_event JSON file loadable "
                              "in chrome://tracing or Perfetto (report only)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker threads for the parallel cone match "
                              "pre-warm (default 1: in-process)")
+    parser.add_argument("--procs", type=int, default=1, metavar="N",
+                        help="worker processes for table1/table2: circuits "
+                             "fan out over a process pool, one MIS+Lily "
+                             "pair per worker (default 1: sequential; rows "
+                             "are identical for any N)")
     parser.add_argument("--naive-perf", action="store_true",
                         help="disable the mapper fast paths (match "
-                             "memoization, pattern index, net cache); "
-                             "results are identical, just slower")
+                             "memoization, pattern index, net cache, "
+                             "incremental placement/timing); results are "
+                             "identical, just slower")
     args = parser.parse_args(argv)
 
     from repro.perf import PerfOptions
 
     perf = PerfOptions.naive() if args.naive_perf else PerfOptions()
-    perf = perf.with_jobs(args.jobs)
+    perf = perf.with_jobs(args.jobs).with_procs(args.procs)
 
     circuits = args.circuits or None
     if args.no_verify and args.verify_level:
         raise SystemExit("--no-verify and --verify are mutually exclusive")
+    if args.procs > 1 and (args.svg or args.trace):
+        # Span trees live in the worker processes; only aggregated
+        # ObsReports come back, so a single Chrome trace (or the report
+        # command's SVG) cannot be assembled across the pool.
+        raise SystemExit("--procs is incompatible with --svg/--trace")
     verify = False if args.no_verify else (args.verify_level or True)
-    if args.command == "table1":
-        rows = run_table1(circuits, scale=args.scale, verify=verify,
-                          perf=perf)
-        print(format_table1(rows))
-    elif args.command == "table2":
-        rows = run_table2(circuits, scale=args.scale, verify=verify,
-                          perf=perf)
-        print(format_table2(rows))
-    elif args.command == "verify":
+    if args.command in ("table1", "table2"):
+        return _tables(args, circuits, verify, perf)
+    if args.command == "verify":
         return _verify(args, perf)
-    else:
-        _report(args, verify, perf)
+    _report(args, verify, perf)
+    return 0
+
+
+def _tables(args, circuits, verify, perf) -> int:
+    """The ``table1`` / ``table2`` commands (optionally process-parallel)."""
+    from repro.obs import OBS, merge_reports
+
+    obs_out = [] if args.profile else None
+    observing = args.profile and perf.procs <= 1
+    if observing:
+        # Sequential runs record in this process; workers bring their own
+        # sessions (see flow.tables._circuit_in_worker).
+        OBS.enable()
+    try:
+        if args.command == "table1":
+            rows = run_table1(circuits, scale=args.scale, verify=verify,
+                              perf=perf, obs_out=obs_out)
+            print(format_table1(rows))
+        else:
+            rows = run_table2(circuits, scale=args.scale, verify=verify,
+                              perf=perf, obs_out=obs_out)
+            print(format_table2(rows))
+    finally:
+        if observing:
+            OBS.disable()
+    if obs_out:
+        merged = merge_reports(obs_out)
+        print()
+        print(merged.format_table())
     return 0
 
 

@@ -131,6 +131,7 @@ def place_and_route(
     seed_positions: Optional[Dict[str, Point]] = None,
     anneal: bool = False,
     anneal_seed: int = 0,
+    perf: Optional[PerfOptions] = None,
 ) -> BackendResult:
     """The shared back-end: global + detailed placement, routing, STA.
 
@@ -143,8 +144,12 @@ def place_and_route(
             placement.
         anneal: refine the detailed placement with simulated annealing
             (the TimberWolf-style pass; slower, lower wirelength).
+        perf: optimization switches; ``incremental_place`` selects the
+            cached-bounding-box engines in the detailed pass and the
+            annealer (bit-identical either way).
     """
     wire_model = wire_model or WireCapModel()
+    incremental = perf.incremental_place if perf is not None else True
     region = mapped_image(mapped.total_cell_area())
     pads = pads_from_order(pad_order, region)
     netlist = mapped_netlist(mapped, pads)
@@ -160,11 +165,13 @@ def place_and_route(
         positions = placement.positions
 
     with OBS.span("place.detailed", cells=len(positions)):
-        detailed = detailed_place(netlist, positions)
+        detailed = detailed_place(netlist, positions,
+                                  incremental=incremental)
     if anneal:
         from repro.place.anneal import simulated_annealing
 
-        simulated_annealing(detailed, netlist, seed=anneal_seed)
+        simulated_annealing(detailed, netlist, seed=anneal_seed,
+                            incremental=incremental)
     routed = route_design(mapped, detailed, pads)
     chip = estimate_chip(
         routed.chip_width, routed.chip_height, mapped.total_cell_area()
@@ -251,7 +258,8 @@ def mis_flow(
             pad_order = io_affinity_order(net)
             pad_order = _mapped_terminal_names(result.mapped, pad_order)
         with OBS.span("backend"):
-            backend = place_and_route(result.mapped, pad_order, wire_model)
+            backend = place_and_route(result.mapped, pad_order, wire_model,
+                                      perf=perf)
         with OBS.span("verify", enabled=bool(verify)):
             equivalent, verify_report = _run_verification(
                 net, result, backend, verify, wire_model
@@ -341,7 +349,7 @@ def lily_flow(
         with OBS.span("backend"):
             backend = place_and_route(
                 result.mapped, backend_pad_order, wire_model,
-                seed_positions=seed
+                seed_positions=seed, perf=perf
             )
         with OBS.span("verify", enabled=bool(verify)):
             equivalent, verify_report = _run_verification(

@@ -7,18 +7,28 @@ placer, router and timing model and reports the paper's columns:
   interconnection length after detailed routing (mm) — MIS 2.1 vs Lily.
 * Table 2: total instance area (mm²) and longest path delay (wiring delay
   included, post detailed placement) — MIS 2.1 vs Lily, 1µ-scaled library.
+
+Circuits are independent of each other, so both drivers can fan the rows
+out over worker *processes* (``procs`` / CLI ``--procs N``): each worker
+runs one circuit's MIS+Lily pair in its own interpreter (its own GIL, its
+own pattern/match caches) and ships the finished row — plus its
+:class:`~repro.obs.ObsReport` profiles when requested — back to the
+parent, which assembles results in submission order.  Rows are therefore
+identical for any ``procs``; only wall-clock changes.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.suite import TABLE1_CIRCUITS, TABLE2_CIRCUITS, build_circuit
 from repro.core.lily import LilyOptions
 from repro.flow.pipeline import FlowResult, lily_flow, mis_flow
 from repro.library.cell import Library
 from repro.library.standard import big_library, scale_library
+from repro.obs import OBS, ObsReport
 from repro.perf import PerfOptions
 from repro.timing.model import WireCapModel
 
@@ -81,6 +91,106 @@ class Table2Row:
         return self.lily_delay / self.mis_delay if self.mis_delay else 1.0
 
 
+def _table1_circuit(
+    name: str,
+    scale: float,
+    library: Library,
+    options: Optional[LilyOptions],
+    verify: Union[bool, str],
+    perf: Optional[PerfOptions],
+) -> Tuple[Table1Row, List[ObsReport]]:
+    """One Table 1 row (both flows).  Module-level so it pickles."""
+    net = build_circuit(name, scale=scale)
+    mis = mis_flow(net, library, mode="area", verify=verify, perf=perf)
+    lily = lily_flow(net, library, mode="area", options=options,
+                     verify=verify, perf=perf)
+    row = Table1Row(
+        name,
+        mis.instance_area_mm2,
+        mis.chip_area_mm2,
+        mis.wire_length_mm,
+        lily.instance_area_mm2,
+        lily.chip_area_mm2,
+        lily.wire_length_mm,
+        mis.equivalent,
+        lily.equivalent,
+    )
+    return row, [r for r in (mis.obs, lily.obs) if r is not None]
+
+
+def _table2_circuit(
+    name: str,
+    scale: float,
+    library: Library,
+    options: Optional[LilyOptions],
+    verify: Union[bool, str],
+    perf: Optional[PerfOptions],
+    wire_model: WireCapModel,
+) -> Tuple[Table2Row, List[ObsReport]]:
+    """One Table 2 row (both flows).  Module-level so it pickles."""
+    net = build_circuit(name, scale=scale)
+    mis = mis_flow(net, library, mode="timing", wire_model=wire_model,
+                   verify=verify, perf=perf)
+    lily = lily_flow(net, library, mode="timing", options=options,
+                     wire_model=wire_model, verify=verify, perf=perf)
+    row = Table2Row(
+        name,
+        mis.instance_area_mm2,
+        mis.delay,
+        lily.instance_area_mm2,
+        lily.delay,
+        mis.equivalent,
+        lily.equivalent,
+    )
+    return row, [r for r in (mis.obs, lily.obs) if r is not None]
+
+
+def _circuit_in_worker(worker, with_obs: bool, args: tuple):
+    """Run one circuit inside a pool worker.
+
+    Workers are fresh interpreters, so the parent's observability session
+    does not exist there; when the parent wants profiles the worker
+    enables its own session around the flows and the per-flow
+    :class:`ObsReport` objects travel back through the result pickle.
+    """
+    if with_obs:
+        OBS.enable()
+        try:
+            return worker(*args)
+        finally:
+            OBS.disable()
+    return worker(*args)
+
+
+def _run_suite(worker, per_circuit_args: List[tuple], procs: int,
+               obs_out: Optional[List[ObsReport]]) -> List:
+    """Shared driver: sequential in-process, or fanned over a pool.
+
+    Results are collected from futures in submission order, so row order
+    (and everything derived from it) is independent of scheduling.
+    """
+    rows = []
+    if procs <= 1:
+        for args in per_circuit_args:
+            row, reports = worker(*args)
+            rows.append(row)
+            if obs_out is not None:
+                obs_out.extend(reports)
+        return rows
+    with_obs = obs_out is not None
+    with ProcessPoolExecutor(max_workers=procs) as pool:
+        futures = [
+            pool.submit(_circuit_in_worker, worker, with_obs, args)
+            for args in per_circuit_args
+        ]
+        for future in futures:
+            row, reports = future.result()
+            rows.append(row)
+            if obs_out is not None:
+                obs_out.extend(reports)
+    return rows
+
+
 def run_table1(
     circuits: Optional[Sequence[str]] = None,
     scale: float = 1.0,
@@ -88,29 +198,24 @@ def run_table1(
     options: Optional[LilyOptions] = None,
     verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
+    procs: Optional[int] = None,
+    obs_out: Optional[List[ObsReport]] = None,
 ) -> List[Table1Row]:
-    """Regenerate Table 1 over the named circuits."""
+    """Regenerate Table 1 over the named circuits.
+
+    ``procs > 1`` fans circuits over a process pool (defaults to
+    ``perf.procs``); rows are identical for any value.  ``obs_out``, when
+    given a list, receives one :class:`ObsReport` per flow — from worker
+    processes too — ready for :func:`repro.obs.merge_reports`.
+    """
     library = library or big_library()
-    rows: List[Table1Row] = []
-    for name in circuits or TABLE1_CIRCUITS:
-        net = build_circuit(name, scale=scale)
-        mis = mis_flow(net, library, mode="area", verify=verify, perf=perf)
-        lily = lily_flow(net, library, mode="area", options=options,
-                         verify=verify, perf=perf)
-        rows.append(
-            Table1Row(
-                name,
-                mis.instance_area_mm2,
-                mis.chip_area_mm2,
-                mis.wire_length_mm,
-                lily.instance_area_mm2,
-                lily.chip_area_mm2,
-                lily.wire_length_mm,
-                mis.equivalent,
-                lily.equivalent,
-            )
-        )
-    return rows
+    if procs is None:
+        procs = perf.procs if perf is not None else 1
+    args = [
+        (name, scale, library, options, verify, perf)
+        for name in circuits or TABLE1_CIRCUITS
+    ]
+    return _run_suite(_table1_circuit, args, procs, obs_out)
 
 
 def run_table2(
@@ -120,6 +225,8 @@ def run_table2(
     options: Optional[LilyOptions] = None,
     verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
+    procs: Optional[int] = None,
+    obs_out: Optional[List[ObsReport]] = None,
 ) -> List[Table2Row]:
     """Regenerate Table 2 over the named circuits.
 
@@ -128,31 +235,21 @@ def run_table2(
     interconnect capacitance per micron is roughly technology-independent,
     which is exactly why "as technology scales down, the contribution of
     wiring to the delay becomes significant and even dominating" [4, 13].
+
+    ``procs`` / ``obs_out`` work exactly as in :func:`run_table1`.
     """
     if library is None:
         library = scale_library(big_library(), 1.0 / 3.0, name="big_1u")
+    if procs is None:
+        procs = perf.procs if perf is not None else 1
     # 0.4/0.3 fF/µm: 3µ-era metal with fringing — keeps the wire share of
     # path delay in the regime the paper's experiment probes.
     wire_model = WireCapModel(4.0e-4, 3.0e-4)
-    rows: List[Table2Row] = []
-    for name in circuits or TABLE2_CIRCUITS:
-        net = build_circuit(name, scale=scale)
-        mis = mis_flow(net, library, mode="timing", wire_model=wire_model,
-                       verify=verify, perf=perf)
-        lily = lily_flow(net, library, mode="timing", options=options,
-                         wire_model=wire_model, verify=verify, perf=perf)
-        rows.append(
-            Table2Row(
-                name,
-                mis.instance_area_mm2,
-                mis.delay,
-                lily.instance_area_mm2,
-                lily.delay,
-                mis.equivalent,
-                lily.equivalent,
-            )
-        )
-    return rows
+    args = [
+        (name, scale, library, options, verify, perf, wire_model)
+        for name in circuits or TABLE2_CIRCUITS
+    ]
+    return _run_suite(_table2_circuit, args, procs, obs_out)
 
 
 def _mean(values: Sequence[float]) -> float:

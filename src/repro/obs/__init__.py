@@ -23,7 +23,7 @@ attribute check per site; ``OBS.span`` returns a shared no-op context.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
-from repro.obs.report import ObsReport, PhaseStat, build_report
+from repro.obs.report import ObsReport, PhaseStat, build_report, merge_reports
 from repro.obs.session import OBS, ObsSession, get_session, observed
 from repro.obs.tracer import Span, Tracer
 
@@ -41,4 +41,5 @@ __all__ = [
     "ObsReport",
     "PhaseStat",
     "build_report",
+    "merge_reports",
 ]

@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.obs.session import ObsSession
 from repro.obs.tracer import Span
 
-__all__ = ["PhaseStat", "ObsReport", "build_report"]
+__all__ = ["PhaseStat", "ObsReport", "build_report", "merge_reports"]
 
 #: Aggregated phase rows deeper than this are folded into their parent.
 MAX_TABLE_DEPTH = 2
@@ -180,3 +180,55 @@ def build_report(
             k: h.summary() for k, h in session.metrics.histograms.items()
         },
     )
+
+
+def merge_reports(reports: List[ObsReport]) -> Optional[ObsReport]:
+    """Fold several per-flow reports into one suite-level profile.
+
+    Used by the process-parallel table drivers, which collect one
+    :class:`ObsReport` per circuit per flow from the workers and present
+    them as a single ``--profile`` table.  Semantics: phase rows merge by
+    path (counts and times sum; first appearance fixes the order),
+    counters sum, gauges keep the last report's value (they are
+    point-in-time readings), histograms combine count / weighted mean /
+    min / max.  ``wall_s`` is the *sum* of the member walls — total work
+    performed, not elapsed time, which under ``--procs`` is smaller.
+    """
+    reports = [r for r in reports if r is not None]
+    if not reports:
+        return None
+    merged = ObsReport(
+        flow=reports[0].flow if all(
+            r.flow == reports[0].flow for r in reports) else "suite",
+        circuit="suite" if len(reports) > 1 else reports[0].circuit,
+        wall_s=0.0,
+    )
+    phase_by_path: Dict[str, PhaseStat] = {}
+    for report in reports:
+        merged.wall_s += report.wall_s
+        for p in report.phases:
+            stat = phase_by_path.get(p.path)
+            if stat is None:
+                stat = PhaseStat(p.path, p.depth, 0, 0.0, 0.0)
+                phase_by_path[p.path] = stat
+                merged.phases.append(stat)
+            stat.count += p.count
+            stat.total_s += p.total_s
+            stat.exclusive_s += p.exclusive_s
+        for name, value in report.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        merged.gauges.update(report.gauges)
+        for name, h in report.histograms.items():
+            got = merged.histograms.get(name)
+            if got is None:
+                merged.histograms[name] = dict(h)
+                continue
+            count = got["count"] + h["count"]
+            if count:
+                got["mean"] = (
+                    got["mean"] * got["count"] + h["mean"] * h["count"]
+                ) / count
+            got["count"] = count
+            got["min"] = min(got["min"], h["min"])
+            got["max"] = max(got["max"], h["max"])
+    return merged

@@ -1,6 +1,6 @@
-"""Hot-path optimization layer for the mapping stack.
+"""Hot-path optimization layer for the mapping and layout stack.
 
-Four independent, individually-switchable techniques (see ``PerfOptions``):
+Independent, individually-switchable techniques (see ``PerfOptions``):
 
 * **match memoization** (:mod:`repro.perf.memomatch`) — structural matches
   depend only on the truncated fanin DAG below a node, so nodes with equal
@@ -13,7 +13,12 @@ Four independent, individually-switchable techniques (see ``PerfOptions``):
   by delta on commit instead of recomputed from scratch per candidate;
 * **parallel cone mapping** (:mod:`repro.perf.parallel`) — an opt-in
   ``concurrent.futures`` executor pre-computes the per-cone match lists in
-  parallel with a deterministic merge order.
+  parallel with a deterministic merge order;
+* **incremental placement bookkeeping** (:mod:`repro.perf.incremental`) —
+  per-net bounding-box caches giving the annealer and the detailed swap
+  pass O(pins-of-moved-cell) cost deltas instead of full-net re-folds;
+* **incremental timing** (:mod:`repro.timing.incremental`) — dirty-node
+  frontier propagation so a gate move re-times only its fanout cone.
 
 Every path is bit-identical to the naive one it replaces (asserted by the
 golden-equivalence tests) and reports cache hit/miss counters through
@@ -32,6 +37,8 @@ __all__ = [
     "MemoMatcher",
     "NetCache",
     "prewarm_match_cache",
+    "NetBoxCache",
+    "StampedNetBoxCache",
 ]
 
 # The heavier members live in submodules that import from repro.map /
@@ -44,6 +51,8 @@ _LAZY = {
     "MemoMatcher": "repro.perf.memomatch",
     "NetCache": "repro.perf.netcache",
     "prewarm_match_cache": "repro.perf.parallel",
+    "NetBoxCache": "repro.perf.incremental",
+    "StampedNetBoxCache": "repro.perf.incremental",
 }
 
 

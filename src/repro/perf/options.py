@@ -25,14 +25,32 @@ class PerfOptions:
             and gate-height index instead of trying the full library.
         incremental_nets: cache per-net true-fanout lists and pin points
             with delta invalidation on commit (Lily cost hooks).
+        incremental_place: per-net bounding-box caches with O(pins-of-
+            moved-cell) delta updates in annealing and the detailed
+            swap pass (bit-identical to full recomputation).
+        incremental_sta: dirty-frontier arrival/required propagation in
+            re-timing loops instead of whole-netlist passes
+            (bit-identical to full recomputation).
+        warm_replace: seed Lily's periodic quadratic re-place CG solves
+            with the previous solution.  Only affects flows with
+            ``replace_interval > 0``; warm CG matches a cold solve to
+            solver tolerance, not bitwise.
         jobs: worker threads for the parallel per-cone match prewarm
             (1 = sequential; results are identical for any value).
+        procs: worker *processes* for suite runs (``run_table1`` /
+            ``run_table2``); circuits fan out over a process pool and
+            per-circuit rows/profiles merge deterministically in
+            submission order (identical for any value).
     """
 
     memoize_matches: bool = True
     index_patterns: bool = True
     incremental_nets: bool = True
+    incremental_place: bool = True
+    incremental_sta: bool = True
+    warm_replace: bool = True
     jobs: int = 1
+    procs: int = 1
 
     @staticmethod
     def naive() -> "PerfOptions":
@@ -41,8 +59,15 @@ class PerfOptions:
             memoize_matches=False,
             index_patterns=False,
             incremental_nets=False,
+            incremental_place=False,
+            incremental_sta=False,
+            warm_replace=False,
             jobs=1,
+            procs=1,
         )
 
     def with_jobs(self, jobs: int) -> "PerfOptions":
         return replace(self, jobs=max(1, int(jobs)))
+
+    def with_procs(self, procs: int) -> "PerfOptions":
+        return replace(self, procs=max(1, int(procs)))

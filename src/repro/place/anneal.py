@@ -40,7 +40,18 @@ class AnnealStats:
 
 
 class _Incremental:
-    """Incremental HPWL bookkeeping over a mutable placement."""
+    """Full-recompute HPWL bookkeeping over a mutable placement.
+
+    The reference engine: every refreshed net is re-folded from live
+    positions and every swap repacks its rows in full.
+    :class:`_IncrementalBBox` layers the stamped bounding-box cache of
+    :class:`repro.perf.incremental.StampedNetBoxCache` on top and must
+    stay bit-identical to this class (asserted by the randomized
+    incremental-vs-full tests).
+    """
+
+    #: Whether ``_swap_cells`` should use the stamp-tracking fast repack.
+    incremental = False
 
     def __init__(
         self, placement: DetailedPlacement, netlist: PlacementNetlist
@@ -103,6 +114,67 @@ class _Incremental:
         self.total += delta
         return delta
 
+    def row_width(self, row: Row) -> float:
+        """Current packed width of a row (for the capacity check)."""
+        return row.width
+
+
+class _IncrementalBBox(_Incremental):
+    """Stamp-validated bounding-box HPWL bookkeeping (the fast engine).
+
+    Same external behaviour as :class:`_Incremental` — including the
+    deliberate staleness of ``net_hpwl`` for nets that row repacking
+    shifts without them being scored — but each refreshed net costs a
+    stamp check against its cached box instead of a full fold, swaps
+    repack only the row suffix that actually shifts, rejected moves need
+    no restore work beyond the undoing swap's own stamps, and row widths
+    are maintained instead of re-derived per capacity check.
+    """
+
+    incremental = True
+
+    def __init__(
+        self, placement: DetailedPlacement, netlist: PlacementNetlist
+    ) -> None:
+        super().__init__(placement, netlist)
+        from repro.perf.incremental import StampedNetBoxCache
+
+        self.cache = StampedNetBoxCache(
+            netlist.nets, placement.positions, netlist.fixed
+        )
+        self._row_width: Dict[int, float] = {
+            row.index: row.width for row in placement.rows
+        }
+
+    def refresh(self, net_ids: List[int]) -> float:
+        # Scored nets always contain a just-swapped cell, so skip the
+        # stamp scan and re-fold outright (same value, fewer checks).
+        cache = self.cache
+        boxes = cache._box
+        stamps = cache._net_stamp
+        clock = cache.clock
+        fold = cache._fold
+        hpwl = self.net_hpwl
+        delta = 0.0
+        folded = 0
+        for net_id in net_ids:
+            box = boxes[net_id]
+            if box is None:
+                new = 0.0
+            else:
+                box = boxes[net_id] = fold(net_id)
+                stamps[net_id] = clock
+                folded += 1
+                new = (box[2] - box[0]) + (box[3] - box[1])
+            delta += new - hpwl[net_id]
+            hpwl[net_id] = new
+        cache.refolds += folded
+        self.total += delta
+        return delta
+
+    def row_width(self, row: Row) -> float:
+        return self._row_width[row.index]
+
 
 def _repack_row(placement: DetailedPlacement, row: Row) -> None:
     x = 0.0
@@ -112,6 +184,54 @@ def _repack_row(placement: DetailedPlacement, row: Row) -> None:
         row.x_spans[cell] = (x, x + width)
         placement.positions[cell] = Point(x + width / 2.0, row.y_center)
         x += width
+
+
+def _repack_row_suffix(
+    state: "_IncrementalBBox", row: Row, start: int, last_swapped: int
+) -> None:
+    """Repack a row from ``start``, stamping every cell that moves.
+
+    Bit-identical to :func:`_repack_row`: spans before ``start`` already
+    hold the exact running-sum values a full repack recomputes (their
+    widths are untouched since the last repack), and the loop stops early
+    once — past the swapped slot — a cell's stored span matches the
+    running sum, because from there on a full repack rewrites only
+    identical values.
+    """
+    cache = state.cache
+    positions = state.placement.positions
+    spans = row.x_spans
+    cells = row.cells
+    stamps = cache.cell_stamp
+    clock = cache.clock
+    x = spans[cells[start]][0]
+    y = row.y_center
+    n = len(cells)
+    # Through the swapped slot: these cells always need their spans redone.
+    for k in range(start, min(last_swapped + 1, n)):
+        cell = cells[k]
+        lo, hi = spans[cell]
+        width = hi - lo
+        spans[cell] = (x, x + width)
+        nx = x + width / 2.0
+        old = positions[cell]
+        if old.x != nx or old.y != y:
+            positions[cell] = Point(nx, y)
+            stamps[cell] = clock
+        x += width
+    # Past it: stop at the first cell whose stored span matches the
+    # running sum — everything after is provably unchanged.
+    for k in range(last_swapped + 1, n):
+        cell = cells[k]
+        lo, hi = spans[cell]
+        if lo == x:
+            return
+        width = hi - lo
+        spans[cell] = (x, x + width)
+        positions[cell] = Point(x + width / 2.0, y)
+        stamps[cell] = clock
+        x += width
+    state._row_width[row.index] = x
 
 
 def _swap_cells(state: _Incremental, a: str, b: str) -> None:
@@ -127,9 +247,17 @@ def _swap_cells(state: _Incremental, a: str, b: str) -> None:
     row_a.x_spans[b] = (span_a[0], span_a[0] + wb)
     row_b.x_spans[a] = (span_b[0], span_b[0] + wa)
     state.row_of[a], state.row_of[b] = row_b, row_a
-    _repack_row(state.placement, row_a)
-    if row_b is not row_a:
-        _repack_row(state.placement, row_b)
+    if state.incremental:
+        state.cache.tick()
+        if row_b is row_a:
+            _repack_row_suffix(state, row_a, min(ia, ib), max(ia, ib))
+        else:
+            _repack_row_suffix(state, row_a, ia, ia)
+            _repack_row_suffix(state, row_b, ib, ib)
+    else:
+        _repack_row(state.placement, row_a)
+        if row_b is not row_a:
+            _repack_row(state.placement, row_b)
 
 
 def simulated_annealing(
@@ -139,6 +267,7 @@ def simulated_annealing(
     moves_per_cell: int = 40,
     cooling: float = 0.92,
     min_acceptance: float = 0.015,
+    incremental: bool = True,
 ) -> AnnealStats:
     """Refine a detailed placement in place; returns run statistics.
 
@@ -149,24 +278,34 @@ def simulated_annealing(
         moves_per_cell: swap attempts per cell per temperature step.
         cooling: geometric temperature decay per step.
         min_acceptance: stop when the acceptance rate falls below this.
+        incremental: score moves with the per-net bounding-box cache
+            (bit-identical results, much faster); off uses the
+            full-recompute reference engine.
     """
     cells = [c for row in placement.rows for c in row.cells]
     stats = AnnealStats()
     if len(cells) < 2:
         return stats
+    state_class = _IncrementalBBox if incremental else _Incremental
     with OBS.span("place.anneal", cells=len(cells)):
-        _anneal(placement, netlist, seed, moves_per_cell, cooling,
+        state = state_class(placement, netlist)
+        _anneal(state, seed, moves_per_cell, cooling,
                 min_acceptance, cells, stats)
     if OBS.enabled:
         OBS.metrics.counter("anneal.moves_tried").inc(stats.moves_tried)
         OBS.metrics.counter("anneal.moves_accepted").inc(stats.moves_accepted)
         OBS.metrics.histogram("anneal.improvement").observe(stats.improvement)
+        if incremental:
+            cache = state.cache
+            OBS.metrics.counter(
+                "perf.incremental.bbox_hits").inc(cache.hits)
+            OBS.metrics.counter(
+                "perf.incremental.bbox_refolds").inc(cache.refolds)
     return stats
 
 
 def _anneal(
-    placement: DetailedPlacement,
-    netlist: PlacementNetlist,
+    state: _Incremental,
     seed: int,
     moves_per_cell: int,
     cooling: float,
@@ -175,7 +314,6 @@ def _anneal(
     stats: AnnealStats,
 ) -> None:
     rng = random.Random(seed)
-    state = _Incremental(placement, netlist)
     stats.initial_hpwl = state.total
 
     # Calibrate T0 from the spread of random-move deltas.
@@ -202,9 +340,9 @@ def _anneal(
                 row_b = state.row_of[b]
                 row_a = state.row_of[a]
                 delta_w = state.widths[a] - state.widths[b]
-                if row_b.width + delta_w > state.capacity:
+                if state.row_width(row_b) + delta_w > state.capacity:
                     continue
-                if row_a.width - delta_w > state.capacity:
+                if state.row_width(row_a) - delta_w > state.capacity:
                     continue
             nets = state.affected((a, b))
             _swap_cells(state, a, b)

@@ -105,6 +105,7 @@ def detailed_place(
     channel_ratio: float = 1.0,
     improvement_passes: int = 1,
     num_rows: Optional[int] = None,
+    incremental: bool = True,
 ) -> DetailedPlacement:
     """Legalise a global placement into standard-cell rows.
 
@@ -116,6 +117,9 @@ def detailed_place(
             row stacking (the router later replaces it with real heights).
         improvement_passes: greedy adjacent-swap HPWL passes (0 disables).
         num_rows: force a row count (default: squareness heuristic).
+        incremental: score the swap passes against the per-net bounding
+            box cache (bit-identical results, much faster); off uses the
+            full-recompute reference pass.
     """
     widths = {
         name: max(netlist.sizes.get(name, 1.0), 1e-9) / cell_height
@@ -158,9 +162,23 @@ def detailed_place(
         rows.append(row)
 
     placement = DetailedPlacement(rows, positions, cell_height, channel_height)
-    for _ in range(improvement_passes):
-        if not _swap_pass(placement, netlist):
-            break
+    if improvement_passes > 0 and incremental:
+        from repro.obs import OBS
+        from repro.perf.incremental import NetBoxCache
+
+        cache = NetBoxCache(netlist.nets, placement.positions, netlist.fixed)
+        for _ in range(improvement_passes):
+            if not _swap_pass_cached(placement, netlist, cache):
+                break
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "perf.incremental.box_fast_updates").inc(cache.fast_updates)
+            OBS.metrics.counter(
+                "perf.incremental.box_refolds").inc(cache.refolds)
+    else:
+        for _ in range(improvement_passes):
+            if not _swap_pass(placement, netlist):
+                break
     return placement
 
 
@@ -196,6 +214,103 @@ def _swap_pass(placement: DetailedPlacement, netlist: PlacementNetlist) -> bool:
                 _swap_in_row(placement, row, k)  # undo
             else:
                 improved = True
+    return improved
+
+
+def _swap_pass_cached(placement: DetailedPlacement,
+                      netlist: PlacementNetlist,
+                      cache) -> bool:
+    """The greedy swap pass scored against a :class:`NetBoxCache`.
+
+    Bit-identical to :func:`_swap_pass`: the cached boxes are exact folds
+    of the live positions at every step, so each ``before``/``after`` sum
+    runs over the same net ids in the same order with bitwise-equal terms
+    (zero-HPWL nets contribute ``+0.0``, which never changes the sum).
+    After-the-swap boxes are delta-updated into temporaries — a swap never
+    changes ``y``, and on the x axis interior and boundary-outward moves
+    are exact O(1) updates while boundary-inward moves re-fold — and only
+    committed on accept.  A rejected swap is undone and its nets lazily
+    dirty-marked rather than snapshot-rolled-back: the undo's repacked
+    spans are recomputed floats and need not bitwise-restore the old
+    widths, so only a re-fold from live positions is guaranteed exact.
+    """
+    improved = False
+    positions = placement.positions
+    fold = cache._fold
+    boxes = cache._box
+    dirty = cache._dirty
+    swap_plan = cache.swap_plan
+    refolds = 0
+    fast = 0
+    for row in placement.rows:
+        cells = row.cells
+        for k in range(len(cells) - 1):
+            a, b = cells[k], cells[k + 1]
+            plan = swap_plan(a, b)
+            before = 0.0
+            for i, _m in plan:
+                if dirty[i]:
+                    boxes[i] = fold(i)
+                    dirty[i] = False
+                    refolds += 1
+                box = boxes[i]
+                before += (box[2] - box[0]) + (box[3] - box[1])
+            ax_old = positions[a].x
+            bx_old = positions[b].x
+            _swap_in_row(placement, row, k)
+            ax_new = positions[a].x
+            bx_new = positions[b].x
+            after = 0.0
+            folded = []
+            for i, m in plan:
+                lx, ly, ux, uy = boxes[i]
+                ok = True
+                if m & 1:
+                    if lx < ax_old < ux:
+                        if ax_new < lx:
+                            lx = ax_new
+                        elif ax_new > ux:
+                            ux = ax_new
+                    elif ax_old == lx and ax_new <= ax_old:
+                        lx = ax_new
+                    elif ax_old == ux and ax_new >= ax_old:
+                        ux = ax_new
+                    else:
+                        ok = False
+                if ok and m & 2:
+                    if lx < bx_old < ux:
+                        if bx_new < lx:
+                            lx = bx_new
+                        elif bx_new > ux:
+                            ux = bx_new
+                    elif bx_old == lx and bx_new <= bx_old:
+                        lx = bx_new
+                    elif bx_old == ux and bx_new >= bx_old:
+                        ux = bx_new
+                    else:
+                        ok = False
+                if ok:
+                    box = (lx, ly, ux, uy)
+                    fast += 1
+                else:
+                    box = fold(i)
+                    refolds += 1
+                folded.append((i, box))
+                after += (box[2] - box[0]) + (box[3] - box[1])
+            if after >= before:
+                _swap_in_row(placement, row, k)  # undo
+                # The uncommitted boxes still describe the pre-swap state;
+                # they stay valid unless the undo's recomputed spans
+                # failed to bitwise-restore the two positions.
+                if positions[a].x != ax_old or positions[b].x != bx_old:
+                    for i, _m in plan:
+                        dirty[i] = True
+            else:
+                for i, box in folded:
+                    boxes[i] = box
+                improved = True
+    cache.refolds += refolds
+    cache.fast_updates += fast
     return improved
 
 

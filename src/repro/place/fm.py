@@ -74,9 +74,22 @@ def fm_bipartition(
                 cell_nets[pin].append(net_id)
                 net_cells[net_id].append(pin)
 
+    # Per-net side pin counts, maintained incrementally across passes: a
+    # pass's tentative moves and its best-prefix rollback are balanced
+    # integer updates, so after every pass the counts equal what a fresh
+    # scan of ``side`` would rebuild.
+    counts: List[List[int]] = []
+    for net in nets:
+        c = [0, 0]
+        for pin in net:
+            if pin in side:
+                c[side[pin]] += 1
+        counts.append(c)
+
     for _ in range(max_passes):
         improved = _fm_pass(
-            cells, nets, cell_nets, net_cells, side, sizes, max_side_area
+            cells, nets, cell_nets, net_cells, side, sizes, max_side_area,
+            counts,
         )
         if not improved:
             break
@@ -97,9 +110,10 @@ def _gain(cell: str, nets, cell_nets, side, counts) -> int:
 
 
 def _fm_pass(
-    cells, nets, cell_nets, net_cells, side, sizes, max_side_area
+    cells, nets, cell_nets, net_cells, side, sizes, max_side_area, counts
 ) -> bool:
-    """One FM pass; mutates ``side``; returns True if the cut improved.
+    """One FM pass; mutates ``side`` and ``counts``; returns True if the
+    cut improved.
 
     Gains are computed once up front and refreshed incrementally: a
     cell's gain depends only on the pin counts of its own nets, so a
@@ -112,14 +126,6 @@ def _fm_pass(
     feasible-balance checks happen at pop time, and cells that fail
     them are re-pushed for later steps once a winner is found.
     """
-    counts: List[List[int]] = []
-    for net in nets:
-        c = [0, 0]
-        for pin in net:
-            if pin in side:
-                c[side[pin]] += 1
-        counts.append(c)
-
     side_area = [0.0, 0.0]
     for c in cells:
         side_area[side[c]] += sizes.get(c, 1.0)

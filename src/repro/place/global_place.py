@@ -22,7 +22,7 @@ from repro.geometry import Point, Rect
 from repro.obs import OBS
 from repro.place.fm import fm_bipartition
 from repro.place.hypergraph import PlacementNetlist
-from repro.place.quadratic import solve_quadratic
+from repro.place.quadratic import QuadraticSystem
 
 __all__ = ["GlobalPlacement", "GlobalPlacer"]
 
@@ -72,8 +72,12 @@ class GlobalPlacer:
         netlist.check()
         if not netlist.movables:
             return GlobalPlacement({}, region, [region], {})
+        # One cached assembly serves every partitioning level: anchors
+        # only touch the diagonal/rhs, so each level's re-solve skips the
+        # net traversal while building a bitwise-identical system.
         with OBS.span("place.quadratic", cells=len(netlist.movables)):
-            positions = solve_quadratic(netlist, region)
+            system = QuadraticSystem(netlist, region)
+            positions = system.solve()
         if OBS.enabled:
             OBS.metrics.counter("place.quadratic_solves").inc()
         partitions: List[Tuple[Rect, List[str]]] = [
@@ -96,7 +100,7 @@ class GlobalPlacer:
                     anchors[cell] = (center, anchor_weight)
             with OBS.span("place.quadratic", level=level,
                           partitions=len(partitions)):
-                positions = solve_quadratic(netlist, region, anchors=anchors)
+                positions = system.solve(anchors=anchors)
             if OBS.enabled:
                 OBS.metrics.counter("place.quadratic_solves").inc()
         if OBS.enabled:

@@ -5,6 +5,12 @@ The GORDIAN engine of [21]: minimise the squared-Euclidean wirelength
 each net (clique model) subject to fixed pad positions.  The objective is
 separable in x and y; each axis reduces to one sparse SPD linear system
 ``L x = b`` solved with conjugate gradients.
+
+Repeated solves over the same netlist (the partitioning levels of the
+global placer, Lily's periodic re-place) share a :class:`QuadraticSystem`:
+anchors only ever touch the diagonal and the right-hand side, so the
+O(pins²) net traversal is done once and every re-solve assembles a
+bitwise-identical matrix from the cached off-diagonal terms.
 """
 
 from __future__ import annotations
@@ -18,10 +24,22 @@ import scipy.sparse.linalg as spla
 from repro.geometry import Point, Rect
 from repro.place.hypergraph import PlacementNetlist
 
-__all__ = ["solve_quadratic", "quadratic_objective", "clique_edges"]
+__all__ = [
+    "solve_quadratic",
+    "quadratic_objective",
+    "clique_edges",
+    "QuadraticSystem",
+    "CLIQUE_STAR_LIMIT",
+]
 
 #: Weak spring to the region centre keeping unconnected cells well-defined.
 ANCHOR_EPSILON = 1e-6
+
+#: Pin count above which ``clique`` nets fall back to the star model: the
+#: clique expansion is O(k²) edges, which blows up on high-fanout nets
+#: (clock/reset-like) while adding no placement information a star does
+#: not.  33 pins ≈ 528 clique edges vs 32 star edges.
+CLIQUE_STAR_LIMIT = 33
 
 
 def clique_edges(
@@ -31,7 +49,10 @@ def clique_edges(
 
     ``clique`` uses the standard ``2 / |net|`` pair weight so every net
     contributes total weight ~2 regardless of pin count; ``star`` connects
-    the first pin (driver) to each sink with unit weight.
+    the first pin (driver) to each sink with unit weight.  Clique nets
+    wider than :data:`CLIQUE_STAR_LIMIT` pins automatically fall back to
+    star edges (keeping the ``2 / |net|`` weight so the net's total pull
+    stays comparable), capping the expansion at O(k) edges.
     """
     k = len(net)
     if k < 2:
@@ -40,6 +61,9 @@ def clique_edges(
         driver = net[0]
         return [(driver, sink, 1.0) for sink in net[1:]]
     w = 2.0 / k
+    if k > CLIQUE_STAR_LIMIT:
+        driver = net[0]
+        return [(driver, sink, w) for sink in net[1:]]
     edges = []
     for i in range(k):
         for j in range(i + 1, k):
@@ -47,11 +71,125 @@ def clique_edges(
     return edges
 
 
+class QuadraticSystem:
+    """Cached assembly of the quadratic placement system for one netlist.
+
+    Splits :func:`solve_quadratic` into a build-once part (the net
+    traversal with its clique/star expansion, the base diagonal and
+    right-hand sides) and a cheap per-solve part (anchor application,
+    diagonal append, CSR assembly, linear solve).  Anchors add only
+    diagonal and rhs terms, so every :meth:`solve` produces the same
+    matrix — in the same floating-point operation order — as a cold
+    :func:`solve_quadratic` with the same anchors.
+    """
+
+    def __init__(
+        self,
+        netlist: PlacementNetlist,
+        region: Rect,
+        weight_model: str = "clique",
+    ) -> None:
+        self.netlist = netlist
+        self.region = region
+        self.weight_model = weight_model
+        n = netlist.num_movable
+        self.n = n
+        self.index = {name: i for i, name in enumerate(netlist.movables)}
+        self._center = region.center
+        center = self._center
+
+        diag = np.full(n, ANCHOR_EPSILON)
+        bx = np.full(n, ANCHOR_EPSILON * center.x)
+        by = np.full(n, ANCHOR_EPSILON * center.y)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+
+        index = self.index
+        for net in netlist.nets:
+            for a, b, w in clique_edges(net, weight_model):
+                ia = index.get(a)
+                ib = index.get(b)
+                if ia is None and ib is None:
+                    continue
+                if ia is not None and ib is not None:
+                    diag[ia] += w
+                    diag[ib] += w
+                    rows.extend((ia, ib))
+                    cols.extend((ib, ia))
+                    vals.extend((-w, -w))
+                else:
+                    movable = ia if ia is not None else ib
+                    fixed_name = b if ia is not None else a
+                    p = netlist.fixed[fixed_name]
+                    diag[movable] += w
+                    bx[movable] += w * p.x
+                    by[movable] += w * p.y
+
+        self._diag = diag
+        self._bx = bx
+        self._by = by
+        self._rows = rows
+        self._cols = cols
+        self._vals = vals
+
+    def solve(
+        self,
+        anchors: Optional[Dict[str, Tuple[Point, float]]] = None,
+        initial: Optional[Dict[str, Point]] = None,
+    ) -> Dict[str, Point]:
+        """Solve for all movable cells; see :func:`solve_quadratic`."""
+        n = self.n
+        if n == 0:
+            return {}
+        region = self.region
+        center = self._center
+        index = self.index
+
+        diag = self._diag.copy()
+        bx = self._bx.copy()
+        by = self._by.copy()
+        for name, (point, weight) in (anchors or {}).items():
+            i = index.get(name)
+            if i is None:
+                continue
+            diag[i] += weight
+            bx[i] += weight * point.x
+            by[i] += weight * point.y
+
+        rows = self._rows + list(range(n))
+        cols = self._cols + list(range(n))
+        vals = list(self._vals)
+        vals.extend(diag)
+        laplacian = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+        x0 = y0 = None
+        if initial is not None:
+            x0 = np.full(n, center.x)
+            y0 = np.full(n, center.y)
+            for name, i in index.items():
+                p = initial.get(name)
+                if p is not None:
+                    x0[i] = p.x
+                    y0[i] = p.y
+
+        xs = _solve_spd(laplacian, bx, center.x, x0=x0)
+        ys = _solve_spd(laplacian, by, center.y, x0=y0)
+
+        out: Dict[str, Point] = {}
+        for name, i in index.items():
+            x = min(max(xs[i], region.lx), region.ux)
+            y = min(max(ys[i], region.ly), region.uy)
+            out[name] = Point(float(x), float(y))
+        return out
+
+
 def solve_quadratic(
     netlist: PlacementNetlist,
     region: Rect,
     anchors: Optional[Dict[str, Tuple[Point, float]]] = None,
     weight_model: str = "clique",
+    initial: Optional[Dict[str, Point]] = None,
 ) -> Dict[str, Point]:
     """Solve the quadratic placement for all movable cells.
 
@@ -61,74 +199,33 @@ def solve_quadratic(
         anchors: optional extra springs ``name -> (point, weight)`` used by
             the partitioning levels to pull cells toward region centres.
         weight_model: ``clique`` or ``star`` net decomposition.
+        initial: optional warm-start positions (previous solution).  Only
+            consulted by the iterative CG path (large systems); small
+            systems use a direct solve where a starting point has no
+            meaning.  Warm starts change the CG iterate sequence, so the
+            result matches a cold solve to solver tolerance, not bitwise;
+            leave unset where bit-reproducibility matters.
 
     Returns:
         Cell name -> position for every movable cell.
     """
-    n = netlist.num_movable
-    if n == 0:
-        return {}
-    index = {name: i for i, name in enumerate(netlist.movables)}
-    center = region.center
-    anchors = anchors or {}
-
-    diag = np.full(n, ANCHOR_EPSILON)
-    bx = np.full(n, ANCHOR_EPSILON * center.x)
-    by = np.full(n, ANCHOR_EPSILON * center.y)
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-
-    for net in netlist.nets:
-        for a, b, w in clique_edges(net, weight_model):
-            ia = index.get(a)
-            ib = index.get(b)
-            if ia is None and ib is None:
-                continue
-            if ia is not None and ib is not None:
-                diag[ia] += w
-                diag[ib] += w
-                rows.extend((ia, ib))
-                cols.extend((ib, ia))
-                vals.extend((-w, -w))
-            else:
-                movable = ia if ia is not None else ib
-                fixed_name = b if ia is not None else a
-                p = netlist.fixed[fixed_name]
-                diag[movable] += w
-                bx[movable] += w * p.x
-                by[movable] += w * p.y
-
-    for name, (point, weight) in anchors.items():
-        i = index.get(name)
-        if i is None:
-            continue
-        diag[i] += weight
-        bx[i] += weight * point.x
-        by[i] += weight * point.y
-
-    rows.extend(range(n))
-    cols.extend(range(n))
-    vals.extend(diag)
-    laplacian = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
-
-    xs = _solve_spd(laplacian, bx, center.x)
-    ys = _solve_spd(laplacian, by, center.y)
-
-    out: Dict[str, Point] = {}
-    for name, i in index.items():
-        x = min(max(xs[i], region.lx), region.ux)
-        y = min(max(ys[i], region.ly), region.uy)
-        out[name] = Point(float(x), float(y))
-    return out
+    return QuadraticSystem(netlist, region, weight_model).solve(
+        anchors, initial=initial
+    )
 
 
-def _solve_spd(laplacian: sp.csr_matrix, rhs: np.ndarray, start: float) -> np.ndarray:
+def _solve_spd(
+    laplacian: sp.csr_matrix,
+    rhs: np.ndarray,
+    start: float,
+    x0: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Solve the SPD system with CG; falls back to a direct solve."""
     n = laplacian.shape[0]
     if n <= 400:
         return spla.spsolve(laplacian.tocsc(), rhs)
-    x0 = np.full(n, start)
+    if x0 is None:
+        x0 = np.full(n, start)
     solution, info = spla.cg(laplacian, rhs, x0=x0, rtol=1e-8, maxiter=10 * n)
     if info != 0:
         return spla.spsolve(laplacian.tocsc(), rhs)

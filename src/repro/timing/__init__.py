@@ -12,8 +12,10 @@ from repro.timing.sta import (
     slacks,
 )
 from repro.timing.fanout import FanoutResult, optimize_fanout
+from repro.timing.incremental import IncrementalTiming
 
 __all__ = [
+    "IncrementalTiming",
     "WireCapModel",
     "net_wire_capacitance",
     "ArrivalTimes",

@@ -1,0 +1,287 @@
+"""Incremental static timing analysis (dirty-node frontier propagation).
+
+:func:`repro.timing.sta.analyze` re-levelizes and re-propagates the whole
+netlist after every change; during placement-aware optimisation most
+changes are a single gate moving, which perturbs the loads of a handful of
+nets and the arrivals of one fanout cone.  :class:`IncrementalTiming`
+keeps a live :class:`TimingReport` and, on each :meth:`update`, recomputes
+only the dirty frontier:
+
+* a moved gate dirties its own load (its position sits on its output net)
+  and the loads of its gate fanins (it sits on each of their output nets);
+* a recomputed arrival is propagated to fanouts only when its value
+  actually changed (bitwise), so propagation stops at the edge of the
+  affected cone;
+* required times depend on loads and the deadline, not on arrivals, so
+  the backward pass re-runs only for the fanin cone of load-changed gates
+  (or fully when the effective deadline changed).
+
+All per-node arithmetic is shared with the full pass
+(:func:`~repro.timing.sta._node_arrival`,
+:func:`~repro.timing.sta._node_required`, :func:`~repro.timing.sta._node_load`),
+in the same operation order, so an updated report is bit-identical to a
+fresh ``analyze`` of the current netlist — :meth:`check_against_full`
+asserts exactly that and is wired into ``repro.verify``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set
+
+from repro.geometry import Point
+from repro.map.netlist import MappedNetwork, MappedNode
+from repro.obs import OBS
+from repro.timing.model import WireCapModel
+from repro.timing.sta import (
+    ArrivalTimes,
+    TimingReport,
+    _node_arrival,
+    _node_load,
+    _node_required,
+    _select_critical,
+    analyze,
+)
+
+__all__ = ["IncrementalTiming"]
+
+
+class IncrementalTiming:
+    """A live timing report over a mapped netlist.
+
+    Args:
+        mapped: the placed mapped netlist (positions are read live).
+        wire_model: as for :func:`~repro.timing.sta.analyze`.
+        input_arrivals: PI name -> arrival time (default 0).
+        pad_cap: load presented by an output pad.
+        wire_cap_per_fanout: fallback lumped wire cap per fanout.
+
+    The constructor runs one full pass; afterwards
+    :meth:`set_position` / :meth:`set_input_arrival` record changes and
+    :meth:`update` refreshes :attr:`report` by frontier propagation.
+    """
+
+    def __init__(
+        self,
+        mapped: MappedNetwork,
+        wire_model: Optional[WireCapModel] = None,
+        input_arrivals: Optional[Dict[str, float]] = None,
+        pad_cap: float = 0.25,
+        wire_cap_per_fanout: float = 0.0,
+    ) -> None:
+        self.mapped = mapped
+        self.wire_model = wire_model
+        self.input_arrivals = dict(input_arrivals or {})
+        self.pad_cap = pad_cap
+        self.wire_cap_per_fanout = wire_cap_per_fanout
+        self.report = analyze(
+            mapped,
+            wire_model=wire_model,
+            input_arrivals=self.input_arrivals,
+            pad_cap=pad_cap,
+            wire_cap_per_fanout=wire_cap_per_fanout,
+        )
+        self._order = mapped.topological_order()
+        self._topo = {node.name: i for i, node in enumerate(self._order)}
+        self._node = {node.name: node for node in self._order}
+        self._dirty: Set[str] = set()
+        self._load_dirty: Set[str] = set()
+        #: Gates whose load changed since the required times were cached
+        #: (drives the backward frontier).
+        self._required_stale: Set[str] = set()
+        self._required: Optional[Dict[str, float]] = None
+        self._required_deadline: Optional[float] = None
+        self.updates = 0
+        self.nodes_recomputed = 0
+
+    # -- change recording ----------------------------------------------------
+
+    def _mark(self, node: MappedNode, load_too: bool) -> None:
+        self._dirty.add(node.name)
+        if load_too and node.is_gate:
+            self._load_dirty.add(node.name)
+            self._required_stale.add(node.name)
+
+    def set_position(self, name: str, position: Optional[Point]) -> None:
+        """Move one node; dirties its own and its fanin-drivers' loads."""
+        node = self._node[name]
+        node.position = position
+        self._mark(node, load_too=True)
+        for fanin in node.fanins:
+            self._mark(fanin, load_too=True)
+
+    def set_input_arrival(self, name: str, arrival: float) -> None:
+        """Change a primary input's arrival time."""
+        self.input_arrivals[name] = arrival
+        self._mark(self._node[name], load_too=False)
+
+    def invalidate(self, name: str) -> None:
+        """Force one node (arrival and load) to recompute on next update."""
+        self._mark(self._node[name], load_too=True)
+
+    # -- forward frontier ----------------------------------------------------
+
+    def update(self) -> TimingReport:
+        """Propagate pending changes; returns the refreshed live report."""
+        if not self._dirty:
+            return self.report
+        self.updates += 1
+        report = self.report
+        arrivals = report.arrivals
+        loads = report.loads
+        topo = self._topo
+        heap: List[int] = [topo[name] for name in self._dirty]
+        queued = set(heap)
+        heapq.heapify(heap)
+        recomputed = 0
+        while heap:
+            i = heapq.heappop(heap)
+            node = self._order[i]
+            name = node.name
+            recomputed += 1
+            old = arrivals.get(name)
+            if node.is_pi:
+                new = ArrivalTimes.at(self.input_arrivals.get(name, 0.0))
+            elif node.is_constant:
+                new = ArrivalTimes.at(0.0)
+            elif node.is_po:
+                new = arrivals[node.fanins[0].name]
+            else:
+                if name in self._load_dirty:
+                    load = _node_load(
+                        node,
+                        self.wire_model,
+                        self.pad_cap,
+                        self.wire_cap_per_fanout,
+                    )
+                    loads[name] = load
+                else:
+                    load = loads[name]
+                new = _node_arrival(node, arrivals, load)
+            if (
+                old is None
+                or old.rise != new.rise
+                or old.fall != new.fall
+            ):
+                arrivals[name] = new
+                node.arrival = new.worst
+                for sink in node.fanouts:
+                    j = topo.get(sink.name)
+                    if j is not None and j not in queued:
+                        queued.add(j)
+                        heapq.heappush(heap, j)
+            elif name in self._load_dirty:
+                # Load changed but the arrival did not: nothing to
+                # propagate forward (required times are tracked
+                # separately via _required_stale).
+                node.arrival = new.worst
+        self._dirty.clear()
+        self._load_dirty.clear()
+        self.nodes_recomputed += recomputed
+        _select_critical(self.mapped, report)
+        if OBS.enabled:
+            OBS.metrics.counter("perf.incremental.sta_updates").inc()
+            OBS.metrics.counter(
+                "perf.incremental.sta_nodes").inc(recomputed)
+        return report
+
+    # -- backward frontier ---------------------------------------------------
+
+    def required(self, deadline: Optional[float] = None) -> Dict[str, float]:
+        """Required times under ``deadline`` (default: critical delay).
+
+        Recomputes the full backward pass when the effective deadline
+        changed (a new deadline touches every PO); otherwise refreshes
+        only the fanin cones of the gates whose load changed since the
+        last call.
+        """
+        self.update()
+        report = self.report
+        effective = (
+            deadline if deadline is not None else report.critical_delay
+        )
+        required = self._required
+        if required is None or effective != self._required_deadline:
+            from repro.timing.sta import required_times
+
+            required = required_times(self.mapped, report, effective)
+            self._required = required
+            self._required_deadline = effective
+            self._required_stale.clear()
+            return required
+        if not self._required_stale:
+            return required
+        topo = self._topo
+        heap: List[int] = []
+        queued: Set[int] = set()
+        for name in self._required_stale:
+            for fanin in self._node[name].fanins:
+                j = topo.get(fanin.name)
+                if j is not None and j not in queued:
+                    queued.add(j)
+                    heapq.heappush(heap, -j)
+        self._required_stale.clear()
+        loads = report.loads
+        while heap:
+            i = -heapq.heappop(heap)
+            node = self._order[i]
+            name = node.name
+            if node.is_po:
+                continue
+            new = _node_required(node, required, loads, effective)
+            if required.get(name) != new:
+                required[name] = new
+                for fanin in node.fanins:
+                    j = topo.get(fanin.name)
+                    if j is not None and j not in queued:
+                        queued.add(j)
+                        heapq.heappush(heap, -j)
+        return required
+
+    # -- cross-check ---------------------------------------------------------
+
+    def check_against_full(self) -> List[str]:
+        """Compare the live report against a fresh full pass (bitwise).
+
+        Returns human-readable mismatch descriptions (empty = exact).
+        Used by ``repro.verify`` as the incremental engine's audit.
+        """
+        self.update()
+        fresh = analyze(
+            self.mapped,
+            wire_model=self.wire_model,
+            input_arrivals=self.input_arrivals,
+            pad_cap=self.pad_cap,
+            wire_cap_per_fanout=self.wire_cap_per_fanout,
+        )
+        problems: List[str] = []
+        live = self.report
+        for name, want in fresh.arrivals.items():
+            got = live.arrivals.get(name)
+            if got is None or got.rise != want.rise or got.fall != want.fall:
+                problems.append(
+                    f"arrival mismatch at {name}: live={got} full={want}"
+                )
+        for name in live.arrivals:
+            if name not in fresh.arrivals:
+                problems.append(f"stale arrival entry {name}")
+        for name, want in fresh.loads.items():
+            got = live.loads.get(name)
+            if got != want:
+                problems.append(
+                    f"load mismatch at {name}: live={got} full={want}"
+                )
+        for name in live.loads:
+            if name not in fresh.loads:
+                problems.append(f"stale load entry {name}")
+        if live.critical_po != fresh.critical_po:
+            problems.append(
+                f"critical PO mismatch: live={live.critical_po} "
+                f"full={fresh.critical_po}"
+            )
+        if live.critical_delay != fresh.critical_delay:
+            problems.append(
+                f"critical delay mismatch: live={live.critical_delay!r} "
+                f"full={fresh.critical_delay!r}"
+            )
+        return problems

@@ -78,26 +78,38 @@ def required_times(
         if node.is_po:
             required[node.name] = deadline
             continue
-        candidates = []
-        for sink in node.fanouts:
-            sink_required = required.get(sink.name)
-            if sink_required is None:
-                continue
-            if sink.is_po:
-                candidates.append(sink_required)
-                continue
-            load = report.loads.get(sink.name, 0.0)
-            for pin_index, fanin in enumerate(sink.fanins):
-                if fanin is not node:
-                    continue
-                timing = sink.cell.pins[pin_index].timing
-                stage = max(
-                    timing.rise_block + timing.rise_resistance * load,
-                    timing.fall_block + timing.fall_resistance * load,
-                )
-                candidates.append(sink_required - stage)
-        required[node.name] = min(candidates) if candidates else deadline
+        required[node.name] = _node_required(
+            node, required, report.loads, deadline
+        )
     return required
+
+
+def _node_required(
+    node: MappedNode,
+    required: Dict[str, float],
+    loads: Dict[str, float],
+    deadline: float,
+) -> float:
+    """Required time of one node from its fanouts' required times."""
+    candidates = []
+    for sink in node.fanouts:
+        sink_required = required.get(sink.name)
+        if sink_required is None:
+            continue
+        if sink.is_po:
+            candidates.append(sink_required)
+            continue
+        load = loads.get(sink.name, 0.0)
+        for pin_index, fanin in enumerate(sink.fanins):
+            if fanin is not node:
+                continue
+            timing = sink.cell.pins[pin_index].timing
+            stage = max(
+                timing.rise_block + timing.rise_resistance * load,
+                timing.fall_block + timing.fall_resistance * load,
+            )
+            candidates.append(sink_required - stage)
+    return min(candidates) if candidates else deadline
 
 
 def slacks(
@@ -194,23 +206,40 @@ def _propagate(
         else:
             load = _node_load(node, wire_model, pad_cap, wire_cap_per_fanout)
             report.loads[node.name] = load
-            rise = 0.0
-            fall = 0.0
-            for pin_index, fanin in enumerate(node.fanins):
-                timing = node.cell.pins[pin_index].timing
-                t_in = report.arrivals[fanin.name]
-                # Inverting-style worst case: the output rise is driven by
-                # the input fall and vice versa; using the conservative
-                # max(rise, fall) of the input keeps the model simple and
-                # monotone, as MIS 2.1 does for UNKNOWN-phase pins.
-                t = t_in.worst
-                rise = max(rise, t + timing.rise_block
-                           + timing.rise_resistance * load)
-                fall = max(fall, t + timing.fall_block
-                           + timing.fall_resistance * load)
-            report.arrivals[node.name] = ArrivalTimes(rise, fall)
+            report.arrivals[node.name] = _node_arrival(
+                node, report.arrivals, load
+            )
         node.arrival = report.arrivals[node.name].worst
 
+    _select_critical(mapped, report)
+
+
+def _node_arrival(
+    node: MappedNode, arrivals: Dict[str, ArrivalTimes], load: float
+) -> ArrivalTimes:
+    """Gate output arrival from its fanin arrivals and output load.
+
+    Inverting-style worst case: the output rise is driven by the input
+    fall and vice versa; using the conservative max(rise, fall) of the
+    input keeps the model simple and monotone, as MIS 2.1 does for
+    UNKNOWN-phase pins.
+    """
+    rise = 0.0
+    fall = 0.0
+    for pin_index, fanin in enumerate(node.fanins):
+        timing = node.cell.pins[pin_index].timing
+        t = arrivals[fanin.name].worst
+        rise = max(rise, t + timing.rise_block
+                   + timing.rise_resistance * load)
+        fall = max(fall, t + timing.fall_block
+                   + timing.fall_resistance * load)
+    return ArrivalTimes(rise, fall)
+
+
+def _select_critical(mapped: MappedNetwork, report: TimingReport) -> None:
+    """(Re-)pick the critical PO; same last-wins ``>=`` scan as always."""
+    report.critical_delay = 0.0
+    report.critical_po = None
     for po in mapped.primary_outputs:
         t = report.arrivals[po.name].worst
         if t >= report.critical_delay:

@@ -34,6 +34,7 @@ from repro.timing.sta import TimingReport
 from repro.verify.equiv import EquivBudget, check_equivalence
 from repro.verify.invariants import (
     check_cone_partition,
+    check_incremental_sta,
     check_lifecycle,
     check_mapped,
     check_network,
@@ -129,6 +130,12 @@ def audit(artifacts: FlowArtifacts, level: str = "fast") -> VerifyReport:
         if a.timing is not None and a.mapped is not None:
             report.extend(check_timing(a.mapped, a.timing,
                                        wire_model=a.wire_model))
+            # The incremental STA engine must track full recomputation
+            # bitwise; exercise it with seeded random gate moves (one
+            # trial on fast audits, three on full).
+            report.extend(check_incremental_sta(
+                a.mapped, wire_model=a.wire_model,
+                trials=1 if level == "fast" else 3))
 
         # Functional equivalence across the phases that must preserve it.
         if a.net is not None and a.mapped is not None:

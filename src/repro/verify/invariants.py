@@ -47,6 +47,7 @@ __all__ = [
     "check_lifecycle",
     "check_placement",
     "check_timing",
+    "check_incremental_sta",
 ]
 
 #: Absolute tolerance for floating-point geometric/timing comparisons.
@@ -518,6 +519,72 @@ def check_timing(
             )
     results.append(_result("invariant.timing.slack", target, problems, t0))
     return results
+
+
+def check_incremental_sta(
+    mapped: MappedNetwork,
+    wire_model: Optional[WireCapModel] = None,
+    trials: int = 1,
+    moves_per_trial: int = 8,
+    seed: int = 0,
+) -> List[CheckResult]:
+    """Audit the incremental timing engine against full recomputation.
+
+    Perturbs ``moves_per_trial`` random gate positions per trial, pushes
+    each move through :class:`~repro.timing.incremental.IncrementalTiming`,
+    and demands the live report match a from-scratch
+    :func:`~repro.timing.sta.analyze` **bitwise** — arrivals, loads,
+    critical output and critical delay.  Original positions (and the
+    ``node.arrival`` side effects) are restored before returning, so the
+    audit leaves the netlist exactly as it found it.
+    """
+    import random
+
+    from repro.geometry import Point
+    from repro.timing.incremental import IncrementalTiming
+
+    target = mapped.name
+    t0 = time.perf_counter()
+    problems: List[str] = []
+    gates = [node for node in mapped.nodes if node.is_gate]
+    placed = [g for g in gates if g.position is not None]
+    if not placed:
+        return [_result("invariant.timing.incremental", target, [], t0)]
+    saved = {g.name: g.position for g in placed}
+    rng = random.Random(seed)
+    try:
+        engine = IncrementalTiming(mapped, wire_model=wire_model)
+        for trial in range(trials):
+            for _ in range(moves_per_trial):
+                gate = placed[rng.randrange(len(placed))]
+                p = gate.position
+                engine.set_position(
+                    gate.name,
+                    Point(
+                        p.x + rng.uniform(-4.0, 4.0),
+                        p.y + rng.uniform(-4.0, 4.0),
+                    ),
+                )
+            engine.update()
+            engine.required()
+            for problem in engine.check_against_full():
+                problems.append(f"trial {trial}: {problem}")
+            if problems:
+                break
+    except Exception as exc:  # engine crash must not kill the audit
+        problems.append(f"incremental engine aborted: {exc}")
+    finally:
+        for name, position in saved.items():
+            mapped[name].position = position
+        # Re-run the full pass so node.arrival side effects match the
+        # restored positions (the report object is discarded).
+        try:
+            from repro.timing.sta import analyze
+
+            analyze(mapped, wire_model=wire_model)
+        except Exception:
+            pass
+    return [_result("invariant.timing.incremental", target, problems, t0)]
 
 
 def _safe_slacks(mapped: MappedNetwork,

@@ -1,0 +1,128 @@
+"""Process-parallel suite runs and observability report merging.
+
+The contract of ``--procs`` is strict: rows must be identical — field by
+field, bitwise on floats — whether circuits run in-process or fanned over
+a worker pool, and profiles gathered in workers must merge into one
+coherent :class:`ObsReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs import ObsReport, merge_reports
+from repro.obs.report import PhaseStat
+from repro.flow.tables import run_table1, run_table2
+
+
+@pytest.fixture(scope="module")
+def seq_rows():
+    return run_table1(["misex1", "b9"], verify=False)
+
+
+class TestProcessParallelTables:
+    def test_table1_rows_identical(self, seq_rows):
+        par = run_table1(["misex1", "b9"], verify=False, procs=2)
+        assert [dataclasses.astuple(r) for r in par] == [
+            dataclasses.astuple(r) for r in seq_rows
+        ]
+
+    def test_row_order_is_submission_order(self, seq_rows):
+        assert [r.circuit for r in seq_rows] == ["misex1", "b9"]
+        par = run_table1(["b9", "misex1"], verify=False, procs=2)
+        assert [r.circuit for r in par] == ["b9", "misex1"]
+
+    def test_table2_rows_identical(self):
+        seq = run_table2(["misex1"], verify=False)
+        par = run_table2(["misex1"], verify=False, procs=2)
+        assert [dataclasses.astuple(r) for r in par] == [
+            dataclasses.astuple(r) for r in seq
+        ]
+
+    def test_workers_ship_obs_reports(self):
+        reports = []
+        run_table1(["misex1"], verify=False, procs=2, obs_out=reports)
+        # One report per flow: MIS and Lily.
+        assert len(reports) == 2
+        assert all(isinstance(r, ObsReport) for r in reports)
+        paths = [p.path for r in reports for p in r.phases]
+        assert any("map" in path for path in paths)
+
+    def test_cli_rejects_procs_with_trace(self, tmp_path):
+        from repro.flow.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "misex1", "--no-verify", "--procs", "2",
+                  "--trace", str(tmp_path / "t.json")])
+
+    def test_cli_procs_smoke(self, capsys):
+        from repro.flow.__main__ import main
+
+        code = main(["table1", "misex1", "--no-verify", "--procs", "2"])
+        assert code == 0
+        assert "misex1" in capsys.readouterr().out
+
+
+def _report(flow, circuit, wall, phases=(), counters=None):
+    return ObsReport(
+        flow=flow,
+        circuit=circuit,
+        wall_s=wall,
+        phases=list(phases),
+        counters=dict(counters or {}),
+    )
+
+
+class TestMergeReports:
+    def test_empty(self):
+        assert merge_reports([]) is None
+        assert merge_reports([None, None]) is None
+
+    def test_single_passthrough_values(self):
+        r = _report("mis", "b9", 1.5,
+                    [PhaseStat("map", 0, 2, 1.0, 1.0)], {"k": 3})
+        merged = merge_reports([r])
+        assert merged.circuit == "b9"
+        assert merged.counters == {"k": 3}
+        assert merged.phases[0].count == 2
+
+    def test_counters_sum_and_phases_merge(self):
+        a = _report("mis", "misex1", 1.0,
+                    [PhaseStat("map", 0, 1, 2.0, 2.0)], {"hits": 5})
+        b = _report("mis", "b9", 2.0,
+                    [PhaseStat("map", 0, 3, 4.0, 4.0),
+                     PhaseStat("route", 0, 1, 1.0, 1.0)],
+                    {"hits": 7, "misses": 1})
+        merged = merge_reports([a, b])
+        assert merged.circuit == "suite"  # multiple reports
+        assert merged.flow == "mis"  # common flow survives
+        assert merged.wall_s == pytest.approx(3.0)  # total work, not elapsed
+        assert merged.counters == {"hits": 12, "misses": 1}
+        by_path = {p.path: p for p in merged.phases}
+        assert by_path["map"].count == 4
+        assert by_path["map"].total_s == pytest.approx(6.0)
+        assert [p.path for p in merged.phases] == ["map", "route"]
+
+    def test_gauges_last_wins(self):
+        a = _report("mis", "x", 0.1)
+        a.gauges["nodes"] = 10.0
+        b = _report("mis", "y", 0.1)
+        b.gauges["nodes"] = 25.0
+        assert merge_reports([a, b]).gauges["nodes"] == 25.0
+
+    def test_histograms_combine(self):
+        a = _report("mis", "x", 0.1)
+        a.histograms["h"] = {"count": 2, "mean": 1.0, "min": 0.5, "max": 1.5}
+        b = _report("mis", "y", 0.1)
+        b.histograms["h"] = {"count": 2, "mean": 3.0, "min": 2.0, "max": 4.0}
+        h = merge_reports([a, b]).histograms["h"]
+        assert h["count"] == 4
+        assert h["mean"] == pytest.approx(2.0)
+        assert h["min"] == 0.5 and h["max"] == 4.0
+
+    def test_mixed_flows_become_suite(self):
+        a = _report("mis", "x", 0.1)
+        b = _report("lily", "x", 0.1)
+        assert merge_reports([a, b]).flow == "suite"

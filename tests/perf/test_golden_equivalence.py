@@ -89,6 +89,36 @@ def test_delay_mappers_fast_vs_naive(subjects, big_lib):
             assert fp == golden, f"{cls.__name__}/{name} diverged"
 
 
+def _backend_fingerprint(flow):
+    """Exact layout state after the full backend: placement, wire, delay."""
+    detailed = flow.backend.detailed
+    rows = tuple(
+        (row.index, tuple(row.cells), tuple(sorted(row.x_spans.items())))
+        for row in detailed.rows
+    )
+    positions = tuple(sorted(
+        (name, p.x, p.y) for name, p in detailed.positions.items()
+    ))
+    return (rows, positions, flow.wire_length_mm, flow.chip_area_mm2,
+            flow.delay)
+
+
+def test_full_flow_fast_vs_naive(big_lib):
+    """End-to-end: the whole backend (incremental placement engines,
+    warm-started re-placement, incremental STA, cached quadratic
+    assembly) lands on the bitwise-identical layout the naive engines
+    produce."""
+    from repro.flow.pipeline import lily_flow, mis_flow
+
+    net = build_circuit("misex1")
+    for runner in (mis_flow, lily_flow):
+        fast = runner(net, big_lib, verify=False, perf=PerfOptions())
+        naive = runner(net, big_lib, verify=False, perf=PerfOptions.naive())
+        assert _backend_fingerprint(fast) == _backend_fingerprint(naive), (
+            f"{runner.__name__} backend diverged from naive"
+        )
+
+
 @pytest.mark.parametrize("circuit", CIRCUITS)
 def test_fast_audit_of_fast_path_results(subjects, big_lib, circuit):
     """Fast-path results don't just match the naive fingerprint — they

@@ -7,6 +7,8 @@ import pytest
 from repro.geometry import Point, Rect
 from repro.place.hypergraph import PlacementNetlist
 from repro.place.quadratic import (
+    CLIQUE_STAR_LIMIT,
+    QuadraticSystem,
     clique_edges,
     quadratic_objective,
     solve_quadratic,
@@ -40,6 +42,35 @@ class TestCliqueEdges:
 
     def test_single_pin(self):
         assert clique_edges(["a"]) == []
+
+    def test_wide_net_falls_back_to_star(self):
+        """A 50-pin clique net uses O(k) star edges, not 1225 pairs."""
+        net = [f"p{i}" for i in range(50)]
+        edges = clique_edges(net)
+        assert len(edges) == 49
+        assert all(a == "p0" for a, _b, _w in edges)
+        assert all(w == pytest.approx(2.0 / 50) for *_ab, w in edges)
+
+    def test_limit_boundary(self):
+        at_limit = [f"p{i}" for i in range(CLIQUE_STAR_LIMIT)]
+        assert len(clique_edges(at_limit)) == (
+            CLIQUE_STAR_LIMIT * (CLIQUE_STAR_LIMIT - 1) // 2
+        )
+        over = at_limit + ["extra"]
+        assert len(clique_edges(over)) == CLIQUE_STAR_LIMIT
+
+    def test_wide_net_solves(self):
+        """A high-fanout net still places its sinks near the driver."""
+        sinks = [f"s{i}" for i in range(49)]
+        netlist = PlacementNetlist(
+            movables=sinks,
+            nets=[["drv"] + sinks],
+            fixed={"drv": Point(20, 30)},
+        )
+        positions = solve_quadratic(netlist, REGION)
+        for name in sinks:
+            assert positions[name].x == pytest.approx(20, abs=1.0)
+            assert positions[name].y == pytest.approx(30, abs=1.0)
 
 
 class TestSolve:
@@ -93,6 +124,62 @@ class TestSolve:
 
     def test_empty(self):
         assert solve_quadratic(PlacementNetlist(), REGION) == {}
+
+
+class TestQuadraticSystem:
+    def _netlist(self):
+        return PlacementNetlist(
+            movables=["a", "b", "c"],
+            nets=[["L", "a"], ["a", "b"], ["b", "c"], ["c", "R"],
+                  ["a", "c", "R"]],
+            fixed={"L": Point(0, 10), "R": Point(100, 90)},
+        )
+
+    def test_matches_solve_quadratic_bitwise(self):
+        """Cached assembly re-solves must equal cold solves exactly."""
+        netlist = self._netlist()
+        system = QuadraticSystem(netlist, REGION)
+        anchor_sets = [
+            None,
+            {"a": (Point(10, 10), 0.5)},
+            {"a": (Point(90, 20), 2.0), "c": (Point(5, 95), 1.0)},
+        ]
+        for anchors in anchor_sets:
+            warm = system.solve(anchors)
+            cold = solve_quadratic(netlist, REGION, anchors=anchors)
+            assert warm == cold  # Point equality is exact
+
+    def test_repeated_solves_identical(self):
+        system = QuadraticSystem(self._netlist(), REGION)
+        anchors = {"b": (Point(50, 50), 1.0)}
+        assert system.solve(anchors) == system.solve(anchors)
+
+    def test_initial_guess_small_system_identical(self):
+        """Small systems solve directly, so a warm start changes nothing."""
+        netlist = self._netlist()
+        system = QuadraticSystem(netlist, REGION)
+        cold = system.solve()
+        warm = system.solve(initial={"a": Point(1, 1), "b": Point(99, 99)})
+        assert warm == cold
+
+    def test_warm_start_large_system_close(self):
+        """Above the direct-solve cutoff a warm start matches to solver
+        tolerance (documented: not bitwise)."""
+        n = 450
+        names = [f"m{i}" for i in range(n)]
+        nets = [["L", names[0]]] + [
+            [names[i], names[i + 1]] for i in range(n - 1)
+        ] + [[names[-1], "R"]]
+        netlist = PlacementNetlist(
+            movables=names,
+            nets=nets,
+            fixed={"L": Point(0, 50), "R": Point(100, 50)},
+        )
+        cold = solve_quadratic(netlist, REGION)
+        warm = solve_quadratic(netlist, REGION, initial=cold)
+        for name in names:
+            assert warm[name].x == pytest.approx(cold[name].x, abs=1e-3)
+            assert warm[name].y == pytest.approx(cold[name].y, abs=1e-3)
 
 
 class TestOptimality:
