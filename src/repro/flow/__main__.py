@@ -57,6 +57,16 @@ def main(argv=None) -> int:
                              "fan out over a process pool, one MIS+Lily "
                              "pair per worker (default 1: sequential; rows "
                              "are identical for any N)")
+    parser.add_argument("--server", action="store_true",
+                        help="route table1/table2 through an in-process "
+                             "repro.serve service: warm shared library/"
+                             "pattern state plus a content-addressed result "
+                             "cache, so repeated circuits (and repeated "
+                             "runs with --server-spill) map once")
+    parser.add_argument("--server-spill", default=None, metavar="DIR",
+                        help="spill the serve result cache to DIR so "
+                             "back-to-back CLI runs share it "
+                             "(implies --server)")
     parser.add_argument("--naive-perf", action="store_true",
                         help="disable the mapper fast paths (match "
                              "memoization, pattern index, net cache, "
@@ -78,7 +88,13 @@ def main(argv=None) -> int:
         # command's SVG) cannot be assembled across the pool.
         raise SystemExit("--procs is incompatible with --svg/--trace")
     verify = False if args.no_verify else (args.verify_level or True)
+    if args.server_spill:
+        args.server = True
+    if args.server and args.command not in ("table1", "table2"):
+        raise SystemExit("--server only applies to table1/table2")
     if args.command in ("table1", "table2"):
+        if args.server:
+            return _tables_served(args, circuits, verify)
         return _tables(args, circuits, verify, perf)
     if args.command == "verify":
         return _verify(args, perf)
@@ -112,6 +128,50 @@ def _tables(args, circuits, verify, perf) -> int:
         merged = merge_reports(obs_out)
         print()
         print(merged.format_table())
+    return 0
+
+
+def _tables_served(args, circuits, verify) -> int:
+    """``table1``/``table2`` with every cell answered by ``repro.serve``.
+
+    The service holds the warm library/pattern state and a
+    content-addressed result cache (optionally spilled to
+    ``--server-spill DIR``, which back-to-back CLI invocations share).
+    A cache-statistics line follows the table so hits are visible.
+    """
+    from repro.obs import OBS
+    from repro.serve import Client, ServerConfig
+    from repro.serve.driver import run_table1_served, run_table2_served
+
+    config = ServerConfig(workers=max(1, args.procs),
+                          spill_dir=args.server_spill)
+    if args.profile:
+        OBS.enable()
+    try:
+        with Client.in_process(config) as client:
+            if args.command == "table1":
+                rows = run_table1_served(client, circuits, scale=args.scale,
+                                         verify=verify)
+                print(format_table1(rows))
+            else:
+                rows = run_table2_served(client, circuits, scale=args.scale,
+                                         verify=verify)
+                print(format_table2(rows))
+            stats = client.stats()
+            cache = stats["cache"]
+            print(f"serve: {stats['counters']['jobs']} jobs, "
+                  f"{cache['hits']} cache hits "
+                  f"({cache['disk_hits']} from disk), "
+                  f"{cache['misses']} misses, "
+                  f"{stats['counters']['degraded']} degraded")
+            if args.profile:
+                merged = client.server.merged_obs()
+                if merged is not None:
+                    print()
+                    print(merged.format_table())
+    finally:
+        if args.profile:
+            OBS.disable()
     return 0
 
 

@@ -226,6 +226,7 @@ def mis_flow(
     wire_model: Optional[WireCapModel] = None,
     verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
+    matcher=None,
 ) -> FlowResult:
     """Pipeline 1: MIS mapping, layout afterwards.
 
@@ -235,6 +236,10 @@ def mis_flow(
 
     ``verify`` accepts the legacy booleans or an audit level (``"fast"`` /
     ``"full"``, see :func:`_run_verification`).
+
+    ``matcher`` injects a pre-built structural matcher (``repro.serve``
+    passes one wired to its warm pattern index and cross-job template
+    memo); ``None`` lets the mapper build its own from ``perf``.
     """
     start = perf_counter()
     counters_before = (
@@ -249,9 +254,9 @@ def mis_flow(
         # process pays it here, so it gets its own phase row.
         with OBS.span("patterns"):
             if mode == "area":
-                mapper = MisAreaMapper(library, perf=perf)
+                mapper = MisAreaMapper(library, perf=perf, matcher=matcher)
             else:
-                mapper = MisDelayMapper(library, perf=perf)
+                mapper = MisDelayMapper(library, perf=perf, matcher=matcher)
         with OBS.span("map", gates=len(subject.gates)):
             result = mapper.map(subject)
         with OBS.span("pads"):
@@ -285,6 +290,7 @@ def lily_flow(
     seed_backend_from_mapper: bool = False,
     layout_driven_decomposition: bool = False,
     perf: Optional[PerfOptions] = None,
+    matcher=None,
 ) -> FlowResult:
     """Pipeline 2: pads first, Lily mapping, same layout back-end.
 
@@ -294,7 +300,8 @@ def lily_flow(
     and each node's decomposition tree is built proximity-first, so nearby
     signals enter each tree at topologically-near points (Figure 1.1b).
 
-    ``perf`` and ``verify`` work exactly as in :func:`mis_flow`.
+    ``perf``, ``verify`` and ``matcher`` work exactly as in
+    :func:`mis_flow`.
     """
     start = perf_counter()
     counters_before = (
@@ -325,7 +332,7 @@ def lily_flow(
             if mode == "area":
                 mapper = LilyAreaMapper(
                     library, options=options, region=region,
-                    pad_positions=subject_pads, perf=perf
+                    pad_positions=subject_pads, perf=perf, matcher=matcher
                 )
             else:
                 mapper = LilyDelayMapper(
@@ -335,6 +342,7 @@ def lily_flow(
                     pad_positions=subject_pads,
                     wire_cap=wire_model,
                     perf=perf,
+                    matcher=matcher,
                 )
         with OBS.span("map", gates=len(subject.gates)):
             result = mapper.map(subject)

@@ -46,17 +46,27 @@ class MemoMatcher(Matcher):
         tree_mode: bool = False,
         memoize: bool = True,
         index: bool = True,
+        shared_index: "Optional[PatternIndex]" = None,
+        shared_templates: "Optional[Dict[tuple, List[_Template]]]" = None,
     ) -> None:
+        """``shared_index`` / ``shared_templates`` let a resident service
+        (``repro.serve``) reuse one prebuilt :class:`PatternIndex` and one
+        cross-job template memo: both are pure functions of library/structure,
+        so concurrent writers only ever store identical values.  Per-graph
+        state (``_heights``) stays private to each matcher instance."""
         super().__init__(patterns, tree_mode=tree_mode)
         self.memoize = memoize
-        self.index: Optional[PatternIndex] = (
-            PatternIndex(patterns) if index else None
-        )
+        if shared_index is not None:
+            self.index: Optional[PatternIndex] = shared_index
+        else:
+            self.index = PatternIndex(patterns) if index else None
         self._max_depth = max(
             (p.root.depth() for p in patterns.patterns), default=0
         )
         #: signature -> match templates (structural, valid across graphs).
-        self._templates: Dict[tuple, List[_Template]] = {}
+        self._templates: Dict[tuple, List[_Template]] = (
+            shared_templates if shared_templates is not None else {}
+        )
         #: uid -> gate height of the currently bound graph.
         self._heights: Dict[int, int] = {}
 

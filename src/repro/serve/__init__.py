@@ -1,0 +1,66 @@
+"""``repro.serve`` — mapping-as-a-service with warm shared state.
+
+The repeated-request shape of physically-aware flows (map→place loops,
+mapper fusion, suite regeneration) is exactly what a resident service
+amortises: the MSU library is parsed once, pattern graphs and the
+pattern index are built once and shared read-only by a worker pool, and
+results are cached content-addressed by (netlist hash, library hash,
+canonical options) with LRU bounds and optional disk spill.
+
+Entry points:
+
+* Python — ``Client.in_process()`` / ``Client.subprocess()`` /
+  ``Client.connect(host, port)``;
+* wire — ``python -m repro.serve`` (stdio JSON lines, or ``--socket``);
+* CLI — ``python -m repro.flow table1 --server`` routes the table
+  drivers through an in-process service.
+
+See ``docs/SERVING.md`` for the protocol, cache-keying and degradation
+rules.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import Client, ServeProtocolError
+from repro.serve.driver import run_table1_served, run_table2_served
+from repro.serve.jobs import (
+    JobError,
+    JobSpec,
+    build_payload,
+    job_key,
+    library_hash,
+    network_hash,
+    payload_hash,
+)
+from repro.serve.protocol import handle_request, serve_socket, serve_stream
+from repro.serve.server import (
+    JobCancelled,
+    JobHandle,
+    MappingServer,
+    ServerConfig,
+)
+from repro.serve.state import WarmState, reset_warm_states, warm_state_for
+
+__all__ = [
+    "Client",
+    "ServeProtocolError",
+    "JobSpec",
+    "JobError",
+    "JobHandle",
+    "JobCancelled",
+    "MappingServer",
+    "ServerConfig",
+    "ResultCache",
+    "WarmState",
+    "warm_state_for",
+    "reset_warm_states",
+    "job_key",
+    "network_hash",
+    "library_hash",
+    "build_payload",
+    "payload_hash",
+    "handle_request",
+    "serve_stream",
+    "serve_socket",
+    "run_table1_served",
+    "run_table2_served",
+]

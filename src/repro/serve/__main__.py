@@ -1,0 +1,88 @@
+"""``python -m repro.serve`` — run a mapping service frontend.
+
+Default is the stdio JSON-lines protocol (one request per line on
+stdin, one response per line on stdout), which is what
+``Client.subprocess()`` drives.  ``--socket HOST:PORT`` runs the TCP
+frontend instead (``PORT`` 0 picks a free port and prints it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.server import MappingServer, ServerConfig
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="repro.serve")
+    parser.add_argument("--stdio", action="store_true",
+                        help="serve JSON lines on stdin/stdout (default)")
+    parser.add_argument("--socket", default=None, metavar="HOST:PORT",
+                        help="serve a TCP socket instead of stdio "
+                             "(PORT 0 picks a free port)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="mapping worker threads (default 2)")
+    parser.add_argument("--cache-entries", type=int, default=128,
+                        metavar="N",
+                        help="in-memory result-cache LRU bound (default 128)")
+    parser.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="spill evicted/stored cache entries to DIR "
+                             "(shared across processes)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="default per-job timeout in seconds "
+                             "(default: none)")
+    parser.add_argument("--observe", action="store_true",
+                        help="enable the repro.obs session for the whole "
+                             "serve lifetime (per-job profiles collected)")
+    args = parser.parse_args(argv)
+
+    config = ServerConfig(
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        spill_dir=args.spill_dir,
+        timeout_s=args.timeout,
+    )
+    server = MappingServer(config)
+    if args.observe:
+        from repro.obs import OBS
+
+        OBS.enable()
+    try:
+        if args.socket:
+            host, _, port = args.socket.rpartition(":")
+            if not host or not port.lstrip("-").isdigit():
+                raise SystemExit(
+                    f"--socket expects HOST:PORT, got {args.socket!r}")
+            from repro.serve.protocol import serve_socket
+
+            bound = []
+            import threading
+
+            ready = threading.Event()
+            thread = threading.Thread(
+                target=serve_socket,
+                args=(server, host, int(port)),
+                kwargs={"ready": ready, "bound_port": bound},
+                daemon=True,
+            )
+            thread.start()
+            ready.wait()
+            print(f"serving on {host}:{bound[0]}", flush=True)
+            thread.join()
+        else:
+            from repro.serve.protocol import serve_stream
+
+            serve_stream(server, sys.stdin, sys.stdout)
+    finally:
+        server.shutdown()
+        if args.observe:
+            from repro.obs import OBS
+
+            OBS.disable()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Content-addressed result cache: bounded in-memory LRU + disk spill.
+
+Entries key by :func:`repro.serve.jobs.job_key` — a hash of (netlist,
+library, canonical options) — and hold the deterministic payload dict a
+job produced.  The in-memory tier is an LRU bounded by ``max_entries``;
+when a ``spill_dir`` is configured, evicted (and freshly stored) entries
+are written as ``<key>.json`` files, so a *new process* pointed at the
+same directory starts warm — that is what makes repeated
+``repro.flow --server`` suite runs cheap across invocations.
+
+Payloads are pure functions of the key (see ``jobs.build_payload``), so
+a disk entry produced by any process is valid in every other; there is
+no invalidation protocol beyond deleting the directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.obs import OBS
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU payload cache with optional disk spill."""
+
+    def __init__(self, max_entries: int = 128,
+                 spill_dir: Optional[str] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.spill_dir = spill_dir
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "spills": 0, "disk_hits": 0,
+        }
+        if spill_dir:
+            os.makedirs(spill_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, stat: str, n: int = 1) -> None:
+        self.stats[stat] += n
+        if OBS.enabled:
+            OBS.metrics.counter(f"serve.cache.{stat}").inc(n)
+
+    def _spill_path(self, key: str) -> Optional[str]:
+        if not self.spill_dir:
+            return None
+        return os.path.join(self.spill_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Memory hits refresh LRU order; disk hits are promoted back into
+        the memory tier (they count as both a ``hit`` and a
+        ``disk_hit``).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._count("hits")
+                return entry
+        path = self._spill_path(key)
+        if path and os.path.exists(path):
+            try:
+                with open(path) as f:
+                    payload = json.load(f)
+            except (OSError, ValueError):
+                # A torn spill file is just a miss; the job recomputes
+                # and overwrites it.
+                payload = None
+            if payload is not None:
+                self._count("disk_hits")
+                self._count("hits")
+                self._store(key, payload, spill=False)
+                return payload
+        self._count("misses")
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a payload under its job key (idempotent)."""
+        self._store(key, payload, spill=True)
+
+    def _store(self, key: str, payload: Dict[str, Any], spill: bool) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._count("evictions")
+                if spill:
+                    self._spill(evicted_key, evicted)
+        if spill:
+            self._spill(key, payload)
+
+    def _spill(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._spill_path(key)
+        if not path or os.path.exists(path):
+            return
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(payload, f, sort_keys=True)
+            os.replace(tmp, path)
+            self._count("spills")
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop the memory tier (the spill directory is left alone)."""
+        with self._lock:
+            self._entries.clear()

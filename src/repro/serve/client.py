@@ -1,0 +1,210 @@
+"""Client API: one interface over three transports.
+
+* :meth:`Client.in_process` — wraps a :class:`MappingServer` living in
+  this interpreter.  Zero serialisation; the natural choice for library
+  users and for ``repro.flow --server``.
+* :meth:`Client.subprocess` — spawns ``python -m repro.serve --stdio``
+  and speaks JSON lines over its pipes.  Isolates the mapping workload
+  (memory, GIL) from the caller.
+* :meth:`Client.connect` — dials a running socket frontend.
+
+All three expose the same calls (:meth:`map_circuit`, :meth:`map_blif`,
+:meth:`submit`, :meth:`ping`, :meth:`stats`, :meth:`shutdown`) and all
+responses are the plain envelope dicts of ``repro.serve.server``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from typing import Any, Dict, Optional
+
+from repro.serve.jobs import JobSpec
+from repro.serve.protocol import connect_lines, handle_request
+from repro.serve.server import MappingServer, ServerConfig
+
+__all__ = ["Client", "ServeProtocolError"]
+
+
+class ServeProtocolError(RuntimeError):
+    """Raised when a remote frontend closes or answers garbage."""
+
+
+class Client:
+    """A handle on a mapping service (in-process, subprocess or socket)."""
+
+    def __init__(self, server: Optional[MappingServer] = None) -> None:
+        """Use :meth:`in_process` / :meth:`subprocess` / :meth:`connect`
+        instead of calling this directly."""
+        self._server = server
+        self._proc: Optional[subprocess.Popen] = None
+        self._sock = None
+        self._reader = None
+        self._writer = None
+        self._io_lock = threading.Lock()
+        self._next_id = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def in_process(cls, config: Optional[ServerConfig] = None,
+                   **kwargs) -> "Client":
+        """A client over a fresh server in this interpreter."""
+        return cls(server=MappingServer(config, **kwargs))
+
+    @classmethod
+    def wrap(cls, server: MappingServer) -> "Client":
+        """A client over an existing in-process server."""
+        return cls(server=server)
+
+    @classmethod
+    def subprocess(cls, workers: int = 2, cache_entries: int = 128,
+                   spill_dir: Optional[str] = None,
+                   timeout_s: Optional[float] = None) -> "Client":
+        """Spawn ``python -m repro.serve --stdio`` and connect to it."""
+        client = cls()
+        argv = [sys.executable, "-m", "repro.serve", "--stdio",
+                "--workers", str(workers),
+                "--cache-entries", str(cache_entries)]
+        if spill_dir:
+            argv += ["--spill-dir", spill_dir]
+        if timeout_s is not None:
+            argv += ["--timeout", str(timeout_s)]
+        env = dict(os.environ)
+        # Make repro importable in the child even when the parent runs
+        # from a source tree without installation.
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        parts = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        if src_root not in parts:
+            env["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
+        client._proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, env=env)
+        client._reader = client._proc.stdout
+        client._writer = client._proc.stdin
+        return client
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 30.0) -> "Client":
+        """Dial a running socket frontend."""
+        client = cls()
+        client._sock, client._reader, client._writer = connect_lines(
+            host, port, timeout=timeout)
+        return client
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one protocol request; returns the response dict."""
+        if self._server is not None:
+            return handle_request(self._server, {"op": op, **fields})
+        with self._io_lock:
+            self._next_id += 1
+            rid = self._next_id
+            line = json.dumps({"op": op, "id": rid, **fields},
+                              sort_keys=True)
+            try:
+                self._writer.write(line + "\n")
+                self._writer.flush()
+                raw = self._reader.readline()
+            except (OSError, ValueError) as exc:
+                raise ServeProtocolError(f"transport failed: {exc}")
+        if not raw:
+            raise ServeProtocolError("server closed the connection")
+        try:
+            response = json.loads(raw)
+        except ValueError as exc:
+            raise ServeProtocolError(f"bad response line {raw!r}: {exc}")
+        if response.get("id") not in (None, rid):
+            raise ServeProtocolError(
+                f"response id {response.get('id')!r} != request id {rid}")
+        return response
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Run one job spec; returns its response envelope."""
+        fields: Dict[str, Any] = {"job": spec.to_dict()}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.request("map", **fields)
+
+    def map_circuit(self, name: str, flow: str = "lily", mode: str = "area",
+                    timeout: Optional[float] = None,
+                    **options: Any) -> Dict[str, Any]:
+        """Map a named suite circuit (``options``: JobSpec fields)."""
+        spec = JobSpec.from_dict(
+            {"circuit": name, "flow": flow, "mode": mode, **options})
+        return self.submit(spec, timeout=timeout)
+
+    def map_blif(self, blif: str, flow: str = "lily", mode: str = "area",
+                 timeout: Optional[float] = None,
+                 **options: Any) -> Dict[str, Any]:
+        """Map raw BLIF text (``options``: JobSpec fields)."""
+        spec = JobSpec.from_dict(
+            {"blif": blif, "flow": flow, "mode": mode, **options})
+        return self.submit(spec, timeout=timeout)
+
+    def ping(self) -> bool:
+        """True when the service answers."""
+        return bool(self.request("ping").get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's stats snapshot (see ``MappingServer.stats``)."""
+        return self.request("stats").get("stats", {})
+
+    def shutdown(self) -> None:
+        """Stop the service (drains in-process pools, ends subprocesses)."""
+        if self._server is not None:
+            self._server.shutdown()
+            return
+        try:
+            self.request("shutdown")
+        except ServeProtocolError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        """Release transport resources without a remote shutdown."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server = None
+            return
+        for stream in (self._writer, self._reader):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+            self._proc = None
+
+    @property
+    def server(self) -> Optional[MappingServer]:
+        """The wrapped in-process server (``None`` on remote transports)."""
+        return self._server
+
+    def __enter__(self) -> "Client":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: shutdown and close."""
+        self.shutdown()
+        self.close()

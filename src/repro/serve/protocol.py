@@ -1,0 +1,164 @@
+"""JSON-lines wire protocol: stdio and TCP socket frontends.
+
+One request per line, one response per line, UTF-8 JSON.  Requests::
+
+    {"op": "map",  "id": 1, "job": {...JobSpec fields...},
+     "timeout": 30.0}                      # timeout optional
+    {"op": "stats", "id": 2}
+    {"op": "ping",  "id": 3}
+    {"op": "shutdown", "id": 4}
+
+Responses echo the request ``id`` and carry either the job envelope
+(``ok``/``status``/``cache_hit``/``degraded``/``result``/
+``result_sha256``; see ``repro.serve.server``) or ``{"ok": false,
+"error": ...}``.  Malformed lines answer an error response instead of
+killing the connection; an unreadable *stream* ends that connection
+only.  ``shutdown`` answers, then stops the serving loop (and, over a
+socket, the whole server).
+
+The socket frontend accepts any number of sequential or concurrent
+connections; all of them share the one server (one warm state, one
+cache), which is the entire point.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, TextIO
+
+from repro.serve.jobs import JobError, JobSpec
+from repro.serve.server import MappingServer
+
+__all__ = ["handle_request", "serve_stream", "serve_socket",
+           "connect_lines"]
+
+
+def handle_request(server: MappingServer,
+                   request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one decoded request dict; always returns a response dict.
+
+    The response carries ``shutdown: true`` when the serving loop should
+    stop after sending it.
+    """
+    if not isinstance(request, dict):
+        return {"ok": False, "error": "request must be a JSON object"}
+    rid = request.get("id")
+    op = request.get("op", "map")
+    try:
+        if op == "ping":
+            response: Dict[str, Any] = {"ok": True, "status": "pong"}
+        elif op == "stats":
+            response = {"ok": True, "stats": server.stats()}
+        elif op == "shutdown":
+            response = {"ok": True, "status": "shutting down",
+                        "shutdown": True}
+        elif op == "map":
+            spec = JobSpec.from_dict(request.get("job") or {})
+            timeout = request.get("timeout")
+            response = server.run(
+                spec, timeout=float(timeout) if timeout is not None else None)
+        else:
+            response = {"ok": False, "error": f"unknown op: {op!r}"}
+    except JobError as exc:
+        response = {"ok": False, "error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 — protocol must answer
+        response = {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+    if rid is not None:
+        response["id"] = rid
+    return response
+
+
+def serve_stream(server: MappingServer, inp: TextIO, out: TextIO,
+                 shutdown_on_eof: bool = True) -> bool:
+    """Serve JSON-lines requests from ``inp`` to ``out`` until EOF or a
+    ``shutdown`` request.  Returns True when shutdown was requested."""
+    for line in inp:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            request = None
+            response: Dict[str, Any] = {
+                "ok": False, "error": f"bad JSON request: {exc}"}
+        if request is not None:
+            response = handle_request(server, request)
+        out.write(json.dumps(response, sort_keys=True) + "\n")
+        out.flush()
+        if response.get("shutdown"):
+            return True
+    return shutdown_on_eof
+
+
+class _SocketHandler(socketserver.StreamRequestHandler):
+    """One connection: a JSON-lines stream over the shared server."""
+
+    def handle(self) -> None:
+        """Serve this connection until EOF or a shutdown request."""
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                request = None
+                response: Dict[str, Any] = {
+                    "ok": False, "error": f"bad JSON request: {exc}"}
+            if request is not None:
+                response = handle_request(self.server.mapping_server,
+                                          request)
+            self.wfile.write(
+                (json.dumps(response, sort_keys=True) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("shutdown"):
+                self.server.request_shutdown()
+                return
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    """TCP frontend holding the shared :class:`MappingServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, addr, mapping_server: MappingServer):
+        """Bind to ``addr`` and remember the shared mapping server."""
+        super().__init__(addr, _SocketHandler)
+        self.mapping_server = mapping_server
+
+    def request_shutdown(self) -> None:
+        """Stop the accept loop from a handler thread."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve_socket(server: MappingServer, host: str = "127.0.0.1",
+                 port: int = 0,
+                 ready: Optional[threading.Event] = None,
+                 bound_port: Optional[list] = None) -> None:
+    """Run the TCP frontend until a client sends ``shutdown``.
+
+    ``port=0`` picks a free port; the chosen one is appended to
+    ``bound_port`` (when given) and ``ready`` is set once accepting —
+    both exist so tests and the CLI can report the address.
+    """
+    with _ThreadedTCPServer((host, port), server) as tcp:
+        if bound_port is not None:
+            bound_port.append(tcp.server_address[1])
+        if ready is not None:
+            ready.set()
+        tcp.serve_forever(poll_interval=0.05)
+
+
+def connect_lines(host: str, port: int, timeout: float = 10.0):
+    """Open a socket to a serve frontend; returns ``(sock, reader, writer)``
+    file objects ready for JSON-lines traffic (caller closes all three)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    reader = sock.makefile("r", encoding="utf-8")
+    writer = sock.makefile("w", encoding="utf-8")
+    return sock, reader, writer

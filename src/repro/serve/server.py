@@ -1,0 +1,362 @@
+"""The resident mapping server: worker pool + cache + warm state.
+
+One :class:`MappingServer` owns a thread pool, a
+:class:`~repro.serve.cache.ResultCache` and references into the
+process-wide warm state registry.  A job travels::
+
+    submit(spec)
+      -> content-addressed key (netlist/library/options hashed)
+      -> cache probe ............................ hit: answer immediately
+      -> in-flight table ........... duplicate: join the running leader
+      -> worker thread:
+           warm state lookup (library/patterns/index, built once)
+           network build (cached per circuit name / BLIF content)
+           flow run (fast perf; on failure retry PerfOptions.naive())
+           payload build; cache store
+
+Three degradation rules keep the server answering under stress:
+
+* **fast-path failure** — any exception from the flow with the standard
+  fast ``PerfOptions`` is retried once with ``PerfOptions.naive()`` and
+  the response is flagged ``degraded`` (``serve.degraded`` counts it);
+* **timeout** — :meth:`MappingServer.run` bounds the wait; on expiry the
+  job is cancelled (cooperatively between phases if already running,
+  outright if still queued) and the caller gets ``status: "timeout"``;
+* **bad jobs** — malformed specs or netlists answer ``status: "error"``
+  with the contextual parser message; the server itself never dies.
+
+Identical concurrent submissions are *single-flighted*: followers share
+the leader's future and count as cache hits (``serve.inflight_joins``),
+which is what lets N parallel identical jobs finish with one mapping and
+N-1 hits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.obs import OBS, ObsReport, merge_reports
+from repro.perf import PerfOptions
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    JobError,
+    JobSpec,
+    build_payload,
+    job_key,
+    payload_hash,
+    run_flow,
+)
+from repro.serve.state import WarmState, warm_state_for
+
+__all__ = ["MappingServer", "ServerConfig", "JobHandle", "JobCancelled"]
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when its job's cancel token is set."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of one server instance.
+
+    Attributes:
+        workers: worker threads mapping concurrently (they share the
+            warm state read-only, so more workers add no cold starts).
+        cache_entries: in-memory LRU bound of the result cache.
+        spill_dir: optional directory for disk spill of cache entries;
+            point two processes at the same directory to share results.
+        timeout_s: default per-job timeout for :meth:`MappingServer.run`
+            (``None``: wait forever).
+        perf: flow fast-path switches; jobs that fail under them retry
+            with ``PerfOptions.naive()``.
+    """
+
+    workers: int = 2
+    cache_entries: int = 128
+    spill_dir: Optional[str] = None
+    timeout_s: Optional[float] = None
+    perf: Optional[PerfOptions] = None
+
+
+class JobHandle:
+    """A submitted job: its key, future and cooperative cancel token."""
+
+    def __init__(self, job_id: int, key: str, spec: JobSpec) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.spec = spec
+        self.future: "Future[Dict[str, Any]]" = Future()
+        self._cancel = threading.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancel.is_set()
+
+    def cancel(self) -> None:
+        """Request cancellation: queued jobs never start, running jobs
+        stop at their next phase boundary."""
+        self._cancel.set()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block for the response envelope (raises on timeout)."""
+        return self.future.result(timeout)
+
+
+class MappingServer:
+    """Batched mapping-as-a-service over a persistent worker pool."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, **kwargs):
+        """``kwargs`` are :class:`ServerConfig` field overrides, so
+        ``MappingServer(workers=4)`` works without building a config."""
+        if config is None:
+            config = ServerConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a ServerConfig or field overrides")
+        self.config = config
+        self.cache = ResultCache(config.cache_entries, config.spill_dir)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, config.workers),
+            thread_name_prefix="serve-worker",
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, JobHandle] = {}
+        self._next_id = 0
+        self._queue_depth = 0
+        self._closed = False
+        self.stats_counters: Dict[str, int] = {
+            "jobs": 0, "completed": 0, "errors": 0, "timeouts": 0,
+            "cancelled": 0, "degraded": 0, "inflight_joins": 0,
+        }
+        self.obs_reports: List[ObsReport] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue one job; returns immediately with its handle.
+
+        Cache hits resolve the handle synchronously; a duplicate of a
+        job already in flight joins that job instead of re-mapping.
+        """
+        if self._closed:
+            raise RuntimeError("server is shut down")
+        spec.validate()
+        self._count("jobs")
+        if OBS.enabled:
+            OBS.metrics.counter("serve.jobs").inc()
+        state = warm_state_for(spec.library, spec.genlib)
+        _, net_hash = state.network_for(spec.circuit, spec.blif, spec.scale)
+        key = job_key(spec, net_hash, state.library_hash)
+
+        cached = self.cache.get(key)
+        leader: Optional[JobHandle] = None
+        with self._lock:
+            self._next_id += 1
+            handle = JobHandle(self._next_id, key, spec)
+            if cached is None:
+                leader = self._inflight.get(key)
+                if leader is None:
+                    self._inflight[key] = handle
+                    self._queue_depth += 1
+                    if OBS.enabled:
+                        OBS.metrics.gauge("serve.queue_depth").set(
+                            self._queue_depth)
+                else:
+                    self.stats_counters["inflight_joins"] += 1
+                    self.cache.stats["hits"] += 1
+                    if OBS.enabled:
+                        OBS.metrics.counter("serve.inflight_joins").inc()
+                        OBS.metrics.counter("serve.cache.hits").inc()
+        # Resolution happens outside the lock: done-callbacks can fire
+        # synchronously and _resolve_follower/_finish re-take it.
+        if cached is not None:
+            self._count("completed")
+            handle.future.set_result(self._envelope(
+                key, cached, cache_hit=True, runtime_s=0.0))
+        elif leader is not None:
+            leader.future.add_done_callback(
+                lambda f, h=handle: self._resolve_follower(f, h))
+        else:
+            self._pool.submit(self._work, handle, state)
+        return handle
+
+    def run(self, spec: JobSpec,
+            timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit and wait; the blocking convenience wrapper.
+
+        ``timeout`` (default: the server's ``timeout_s``) bounds the
+        wait; on expiry the job is cancelled and the envelope reports
+        ``status: "timeout"``.
+        """
+        try:
+            handle = self.submit(spec)
+        except (JobError, ValueError) as exc:
+            self._count("errors")
+            return {"ok": False, "status": "error", "error": str(exc)}
+        if timeout is None:
+            timeout = self.config.timeout_s
+        try:
+            return handle.result(timeout)
+        except FutureTimeoutError:
+            handle.cancel()
+            self._count("timeouts")
+            if OBS.enabled:
+                OBS.metrics.counter("serve.timeouts").inc()
+            return {
+                "ok": False, "status": "timeout", "job_key": handle.key,
+                "error": f"job exceeded {timeout:g}s "
+                         f"(cancelled; it will not be retried)",
+            }
+
+    # -- worker side --------------------------------------------------------
+
+    def _work(self, handle: JobHandle, state: WarmState) -> None:
+        start = time.perf_counter()
+        counters_before = (
+            OBS.metrics.snapshot_counters() if OBS.enabled else None
+        )
+        try:
+            payload, degraded, reports = self._execute(handle, state)
+        except JobCancelled:
+            self._finish(handle, {
+                "ok": False, "status": "cancelled", "job_key": handle.key,
+                "error": "job cancelled before completion",
+            })
+            self._count("cancelled")
+            return
+        except Exception as exc:  # noqa: BLE001 — the envelope carries it
+            self._finish(handle, {
+                "ok": False, "status": "error", "job_key": handle.key,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            self._count("errors")
+            if OBS.enabled:
+                OBS.metrics.counter("serve.errors").inc()
+            return
+        runtime = time.perf_counter() - start
+        del counters_before  # flows snapshot their own deltas
+        self.cache.put(handle.key, payload)
+        with self._lock:
+            self.obs_reports.extend(reports)
+        if degraded:
+            self._count("degraded")
+            if OBS.enabled:
+                OBS.metrics.counter("serve.degraded").inc()
+        if OBS.enabled:
+            OBS.metrics.histogram("serve.latency_s").observe(runtime)
+        self._finish(handle, self._envelope(
+            handle.key, payload, cache_hit=False, runtime_s=runtime,
+            degraded=degraded))
+
+    def _execute(self, handle: JobHandle, state: WarmState):
+        """Run one job body; returns ``(payload, degraded, obs_reports)``."""
+        spec = handle.spec
+        if handle.cancelled:
+            raise JobCancelled(handle.key)
+        net, _ = state.network_for(spec.circuit, spec.blif, spec.scale)
+        if handle.cancelled:
+            raise JobCancelled(handle.key)
+        perf = self.config.perf if self.config.perf is not None \
+            else PerfOptions()
+        degraded = False
+        reports: List[ObsReport] = []
+        try:
+            result = run_flow(spec, net, state.library, perf=perf,
+                              matcher=state.matcher())
+        except Exception:  # noqa: BLE001 — degrade, don't error
+            if handle.cancelled:
+                raise JobCancelled(handle.key)
+            # Graceful degradation: the naive paths are the reference
+            # implementation; answer slowly rather than not at all.
+            degraded = True
+            result = run_flow(spec, net, state.library,
+                              perf=PerfOptions.naive())
+        if result.obs is not None:
+            reports.append(result.obs)
+        if handle.cancelled:
+            raise JobCancelled(handle.key)
+        return build_payload(spec, result), degraded, reports
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _envelope(self, key: str, payload: Dict[str, Any], cache_hit: bool,
+                  runtime_s: float, degraded: bool = False) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "ok",
+            "job_key": key,
+            "cache_hit": cache_hit,
+            "degraded": degraded,
+            "runtime_s": runtime_s,
+            "result": payload,
+            "result_sha256": payload_hash(payload),
+        }
+
+    def _finish(self, handle: JobHandle, envelope: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._inflight.get(handle.key) is handle:
+                del self._inflight[handle.key]
+                self._queue_depth -= 1
+                if OBS.enabled:
+                    OBS.metrics.gauge("serve.queue_depth").set(
+                        self._queue_depth)
+            if envelope.get("ok"):
+                self.stats_counters["completed"] += 1
+        handle.future.set_result(envelope)
+
+    def _resolve_follower(self, leader_future: "Future[Dict[str, Any]]",
+                          handle: JobHandle) -> None:
+        envelope = dict(leader_future.result())
+        if envelope.get("ok"):
+            envelope["cache_hit"] = True
+            with self._lock:
+                self.stats_counters["completed"] += 1
+        handle.future.set_result(envelope)
+
+    def _count(self, stat: str) -> None:
+        with self._lock:
+            self.stats_counters[stat] += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of server, cache and warm-state stats."""
+        from repro.serve.state import _STATES
+
+        with self._lock:
+            counters = dict(self.stats_counters)
+            queue_depth = self._queue_depth
+        states = {
+            key: dict(state.stats) for key, state in sorted(_STATES.items())
+        }
+        return {
+            "workers": self.config.workers,
+            "queue_depth": queue_depth,
+            "counters": counters,
+            "cache": {"entries": len(self.cache), **self.cache.stats},
+            "warm_states": states,
+        }
+
+    def merged_obs(self) -> Optional[ObsReport]:
+        """All collected per-job profiles folded into one report."""
+        with self._lock:
+            reports = list(self.obs_reports)
+        return merge_reports(reports)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) drain the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MappingServer":
+        """Context-manager entry (shuts the pool down on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: drain and close the pool."""
+        self.shutdown()

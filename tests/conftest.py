@@ -1,11 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Every randomized test routes its RNG through :func:`repro_seed` /
+:func:`seeded_rng` below, so one environment variable replays any
+failure::
+
+    REPRO_TEST_SEED=1234 python -m pytest tests/...
+
+The default seed is fixed (not time-derived): a plain ``pytest`` run is
+always reproducible, and CI failures name the seed they ran with.
+"""
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
 from repro.library.standard import big_library, tiny_library
 from repro.network.blif import parse_blif
+
+#: The session seed every randomized test derives from.  Module-level so
+#: test files can also use it at collection time (parametrized fleets).
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "19910611"))
 
 #: A small multi-level circuit reused across mapper tests: two outputs,
 #: shared logic (a stem), mixed polarities.
@@ -41,3 +58,25 @@ def tiny_lib():
 @pytest.fixture()
 def small_network():
     return parse_blif(SMALL_BLIF)
+
+
+@pytest.fixture(scope="session")
+def repro_seed() -> int:
+    """The session-wide randomized-test seed (``REPRO_TEST_SEED``)."""
+    return TEST_SEED
+
+
+@pytest.fixture(scope="session")
+def seeded_rng(repro_seed):
+    """Factory for per-test RNG streams derived from the session seed.
+
+    ``seeded_rng(*salt)`` returns a :class:`random.Random` seeded from
+    the session seed plus the given salt values, so each call site gets
+    an independent, replayable stream.  Session-scoped (the factory is
+    stateless) so module-scoped fixtures can draw from it too.
+    """
+    def make(*salt) -> random.Random:
+        return random.Random(
+            ":".join([str(repro_seed)] + [str(s) for s in salt]))
+
+    return make

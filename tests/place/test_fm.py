@@ -41,8 +41,8 @@ class TestFm:
         left = sum(1 for c in cells if refined[c] == 0)
         assert 4 <= left <= 6
 
-    def test_no_worse_than_initial(self):
-        rng = random.Random(3)
+    def test_no_worse_than_initial(self, seeded_rng):
+        rng = seeded_rng("fm", "no-worse")
         cells = [f"c{i}" for i in range(16)]
         nets = [
             rng.sample(cells, rng.randint(2, 4)) for _ in range(24)

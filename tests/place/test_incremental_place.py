@@ -8,8 +8,6 @@ naive engines' placements exactly.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.circuits.random_logic import random_network
@@ -44,8 +42,7 @@ def _hpwl_reference(nets, positions, fixed):
     return out
 
 
-def _random_case(seed, cells=12, nets=18, pads=4):
-    rng = random.Random(seed)
+def _random_case(rng, cells=12, nets=18, pads=4):
     names = [f"c{i}" for i in range(cells)]
     fixed = {
         f"p{i}": Point(rng.uniform(0, 100), rng.uniform(0, 100))
@@ -64,8 +61,9 @@ def _random_case(seed, cells=12, nets=18, pads=4):
 
 class TestNetBoxCache:
     @pytest.mark.parametrize("seed", range(5))
-    def test_random_moves_match_reference(self, seed):
-        nets, positions, fixed, rng = _random_case(seed)
+    def test_random_moves_match_reference(self, seed, seeded_rng):
+        nets, positions, fixed, rng = _random_case(
+            seeded_rng("netbox", seed))
         cache = NetBoxCache(nets, positions, fixed)
         movable = sorted(positions)
         for _ in range(200):
@@ -107,8 +105,9 @@ class TestNetBoxCache:
         assert cache.hpwl(0) == 5.0
         assert cache.refolds == before + 1
 
-    def test_transaction_rollback_restores(self):
-        nets, positions, fixed, rng = _random_case(99)
+    def test_transaction_rollback_restores(self, seeded_rng):
+        nets, positions, fixed, rng = _random_case(
+            seeded_rng("netbox", "rollback"))
         cache = NetBoxCache(nets, positions, fixed)
         want = [cache.hpwl(i) for i in range(len(nets))]
         cache.begin()
@@ -137,8 +136,9 @@ class TestNetBoxCache:
 
 class TestStampedNetBoxCache:
     @pytest.mark.parametrize("seed", range(3))
-    def test_refresh_matches_reference(self, seed):
-        nets, positions, fixed, rng = _random_case(seed + 50)
+    def test_refresh_matches_reference(self, seed, seeded_rng):
+        nets, positions, fixed, rng = _random_case(
+            seeded_rng("stamped", seed))
         cache = StampedNetBoxCache(nets, positions, fixed)
         movable = sorted(positions)
         for _ in range(100):
@@ -166,8 +166,9 @@ class TestStampedNetBoxCache:
 
 
 @pytest.fixture(scope="module")
-def placed_case():
-    net = random_network("inc", 7, 4, 30, seed=5)
+def placed_case(seeded_rng):
+    net = random_network("inc", 7, 4, 30,
+                         seed=seeded_rng("inc-place").randrange(2 ** 31))
     flow = mis_flow(net, big_library(), verify=False)
     netlist = mapped_netlist(flow.mapped, flow.backend.pad_positions)
     return flow, netlist

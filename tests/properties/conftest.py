@@ -1,0 +1,55 @@
+"""Fixtures for the randomized property fleet.
+
+Each fleet case derives its circuit from the session seed (see
+``tests/conftest.py``): the failing test id names the case index, and
+the assertion message names the ``REPRO_TEST_SEED`` to replay with, so
+any red case reproduces with::
+
+    REPRO_TEST_SEED=<seed> python -m pytest "tests/properties/<test id>"
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random_logic import random_network
+from repro.library.standard import big_library
+
+
+@pytest.fixture(scope="session")
+def fleet_library():
+    """The shared mapping library (pattern set builds once)."""
+    return big_library()
+
+
+@pytest.fixture(scope="session")
+def fleet_case(seeded_rng):
+    """Factory: ``(network, rng)`` for one derived fleet case.
+
+    The circuit profile (I/O counts, node budget) is drawn from the
+    case's own RNG stream, so every case exercises a different shape.
+    """
+    def make(*salt):
+        rng = seeded_rng("fleet", *salt)
+        num_inputs = rng.randint(3, 7)
+        num_outputs = rng.randint(1, 3)
+        num_nodes = rng.randint(max(num_outputs, 8), 28)
+        net = random_network(
+            "fleet_" + "_".join(str(s) for s in salt),
+            num_inputs, num_outputs, num_nodes,
+            seed=rng.randrange(2 ** 31),
+        )
+        return net, rng
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def replay_hint(repro_seed):
+    """Factory: the message suffix that names the failing seed."""
+    def make(*salt):
+        salts = ":".join(str(s) for s in salt)
+        return (f"[replay: REPRO_TEST_SEED={repro_seed} "
+                f"case fleet:{salts}]")
+
+    return make

@@ -1,0 +1,115 @@
+"""Randomized property fleet over the MIS and Lily mappers.
+
+Three families, 220 derived seeds total per run:
+
+* **audit fleet** — every random circuit, mapped by both the MIS and
+  Lily area mappers, passes the ``repro.verify`` fast audit (structure,
+  coverage, equivalence);
+* **input-permutation invariance** — bijectively renaming the primary
+  inputs of a circuit must not change the mapped area or gate count
+  (matching and covering never look at names);
+* **delay-vs-area arrival** — the delay-mode mapping's critical arrival
+  is no worse than the area-mode mapping's, up to the slack of the
+  delay mapper's constant-load approximation (measured ≤ 4.1% over 540
+  validation circuits; the bound below allows 10% + 0.3 ns).
+
+Every case derives from the session seed: a red test names both its
+case index (in the test id) and the ``REPRO_TEST_SEED`` to replay with
+(in the assertion message).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.lily import LilyAreaMapper
+from repro.map.mis import MisAreaMapper, MisDelayMapper
+from repro.network.blif import parse_blif, write_blif
+from repro.network.decompose import decompose_to_subject
+from repro.timing.sta import analyze
+from repro.verify import audit_mapping
+
+pytestmark = [pytest.mark.property, pytest.mark.slow]
+
+#: Case counts per property family (220 derived seeds in total).
+AUDIT_CASES = 50          # x2 flows = 100 seeds
+PERMUTATION_CASES = 60
+DELAY_CASES = 60
+
+#: Allowance for the delay mapper's constant-load approximation (see
+#: module docstring): ratio slack plus absolute slack in ns.
+DELAY_RATIO_SLACK = 1.10
+DELAY_ABS_SLACK_NS = 0.3
+
+MAPPERS = {"mis": MisAreaMapper, "lily": LilyAreaMapper}
+
+
+def _rename_inputs(net, rng):
+    """A copy of ``net`` with primary inputs bijectively renamed.
+
+    The rename happens token-wise on the canonical BLIF text (names are
+    whitespace-delimited there), which relabels *without* reordering any
+    declaration — the structural tie-break order stays identical, so
+    mapped area must too.
+    """
+    text = write_blif(net)
+    pis = [node.name for node in net.primary_inputs]
+    shuffled = list(pis)
+    rng.shuffle(shuffled)
+    mapping = {old: f"perm_{new}" for old, new in zip(pis, shuffled)}
+    renamed = re.sub(
+        r"[^ \t\n]+",
+        lambda m: mapping.get(m.group(0), m.group(0)),
+        text,
+    )
+    return parse_blif(renamed)
+
+
+@pytest.mark.parametrize("flow", sorted(MAPPERS))
+@pytest.mark.parametrize("case", range(AUDIT_CASES))
+def test_random_mapping_passes_fast_audit(case, flow, fleet_case,
+                                          fleet_library, replay_hint):
+    net, _ = fleet_case("audit", flow, case)
+    result = MAPPERS[flow](fleet_library).map(decompose_to_subject(net))
+    report = audit_mapping(result, net=net, level="fast")
+    assert report.passed, (
+        f"{flow} audit failed on {net.name}: "
+        f"{[str(c) for c in report.failures]} "
+        + replay_hint("audit", flow, case))
+
+
+@pytest.mark.parametrize("case", range(PERMUTATION_CASES))
+def test_input_permutation_preserves_mapped_area(case, fleet_case,
+                                                 fleet_library,
+                                                 replay_hint):
+    net, rng = fleet_case("perm", case)
+    renamed = _rename_inputs(net, rng)
+    base = MisAreaMapper(fleet_library).map(
+        decompose_to_subject(net)).mapped
+    permuted = MisAreaMapper(fleet_library).map(
+        decompose_to_subject(renamed)).mapped
+    hint = replay_hint("perm", case)
+    assert len(permuted.gates) == len(base.gates), hint
+    assert permuted.total_cell_area() == base.total_cell_area(), (
+        f"area changed under PI rename: {base.total_cell_area()} -> "
+        f"{permuted.total_cell_area()} {hint}")
+
+
+@pytest.mark.parametrize("case", range(DELAY_CASES))
+def test_delay_mode_arrival_not_worse_than_area_mode(case, fleet_case,
+                                                     fleet_library,
+                                                     replay_hint):
+    net, _ = fleet_case("delay", case)
+    subject_area = decompose_to_subject(net)
+    subject_delay = decompose_to_subject(net)
+    by_area = MisAreaMapper(fleet_library).map(subject_area).mapped
+    by_delay = MisDelayMapper(fleet_library).map(subject_delay).mapped
+    area_arrival = analyze(by_area, wire_model=None).critical_delay
+    delay_arrival = analyze(by_delay, wire_model=None).critical_delay
+    bound = area_arrival * DELAY_RATIO_SLACK + DELAY_ABS_SLACK_NS
+    assert delay_arrival <= bound, (
+        f"delay-mode arrival {delay_arrival:.4f} ns exceeds area-mode "
+        f"{area_arrival:.4f} ns beyond the approximation slack "
+        + replay_hint("delay", case))

@@ -1,0 +1,77 @@
+"""Shared fixtures for the ``repro.serve`` test suite.
+
+Serve tests favour raw-BLIF jobs over suite circuits: the tiny netlist
+below maps in milliseconds, so cache/timeout/concurrency behaviour — not
+mapping runtime — dominates each test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.standard import big_library
+from repro.network.blif import parse_blif
+from repro.serve.jobs import JobSpec, run_flow
+
+#: The standard tiny job netlist (two outputs, shared logic).
+SERVE_BLIF = """
+.model servelet
+.inputs a b c d e
+.outputs f g
+.names a b t1
+11 1
+.names t1 c t2
+10 1
+01 1
+.names t2 d f
+11 1
+.names a c x
+00 1
+.names x e g
+11 1
+.end
+"""
+
+#: A structurally different netlist (distinct job key from SERVE_BLIF).
+OTHER_BLIF = """
+.model otherlet
+.inputs p q r
+.outputs s
+.names p q m
+11 1
+.names m r s
+01 1
+10 1
+.end
+"""
+
+
+@pytest.fixture(scope="session")
+def serve_blif():
+    """The standard tiny job netlist text."""
+    return SERVE_BLIF
+
+
+@pytest.fixture(scope="session")
+def other_blif():
+    """A second netlist with a different job key."""
+    return OTHER_BLIF
+
+
+@pytest.fixture()
+def blif_spec():
+    """A fast, valid job over :data:`SERVE_BLIF`."""
+    return JobSpec(flow="lily", mode="area", blif=SERVE_BLIF)
+
+
+@pytest.fixture(scope="session")
+def real_result():
+    """One genuine FlowResult for SERVE_BLIF, for run_flow stand-ins.
+
+    Tests that monkeypatch ``repro.serve.server.run_flow`` (timeout and
+    cancellation paths) still need a payload-buildable result object;
+    faking FlowResult's surface is brittler than computing one for real.
+    """
+    spec = JobSpec(flow="lily", mode="area", blif=SERVE_BLIF)
+    net = parse_blif(SERVE_BLIF)
+    return run_flow(spec, net, big_library())

@@ -1,0 +1,103 @@
+"""The result cache: LRU bounds, stats, and disk spill."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+pytestmark = pytest.mark.serve
+
+P1 = {"n": 1}
+P2 = {"n": 2}
+P3 = {"n": 3}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", P1)
+        assert cache.get("k") == P1
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", P1)
+        cache.put("b", P2)
+        cache.put("c", P3)
+        assert cache.get("a") is None
+        assert cache.get("b") == P2
+        assert cache.get("c") == P3
+        assert cache.stats["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", P1)
+        cache.put("b", P2)
+        cache.get("a")          # "a" is now the most recent
+        cache.put("c", P3)      # so "b" is the one to go
+        assert cache.get("b") is None
+        assert cache.get("a") == P1
+
+    def test_put_is_idempotent(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", P1)
+        cache.put("a", P1)
+        assert len(cache) == 1
+        assert cache.stats["evictions"] == 0
+
+    def test_clear_drops_memory(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", P1)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+class TestDiskSpill:
+    def test_put_spills_to_disk(self, tmp_path):
+        cache = ResultCache(max_entries=4, spill_dir=str(tmp_path))
+        cache.put("abc", P1)
+        path = tmp_path / "abc.json"
+        assert path.exists()
+        assert json.loads(path.read_text()) == P1
+        assert cache.stats["spills"] == 1
+
+    def test_new_process_reads_spill(self, tmp_path):
+        """A fresh cache on the same directory starts warm."""
+        ResultCache(max_entries=4, spill_dir=str(tmp_path)).put("abc", P1)
+        fresh = ResultCache(max_entries=4, spill_dir=str(tmp_path))
+        assert fresh.get("abc") == P1
+        assert fresh.stats["disk_hits"] == 1
+        assert fresh.stats["hits"] == 1
+        # Promoted into memory: the next get is a pure memory hit.
+        assert fresh.get("abc") == P1
+        assert fresh.stats["disk_hits"] == 1
+        assert fresh.stats["hits"] == 2
+
+    def test_eviction_spills_victim(self, tmp_path):
+        cache = ResultCache(max_entries=1, spill_dir=str(tmp_path))
+        cache.put("a", P1)
+        cache.put("b", P2)      # evicts "a"
+        assert cache.get("a") == P1     # back from disk
+        assert cache.stats["disk_hits"] == 1
+
+    def test_torn_spill_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(max_entries=4, spill_dir=str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+        assert cache.stats["misses"] == 1
+
+    def test_spill_dir_is_created(self, tmp_path):
+        target = os.path.join(str(tmp_path), "sub", "dir")
+        ResultCache(max_entries=4, spill_dir=target)
+        assert os.path.isdir(target)

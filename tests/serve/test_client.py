@@ -1,0 +1,84 @@
+"""The Client facade over its three transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import Client, JobSpec, MappingServer
+
+pytestmark = pytest.mark.serve
+
+
+class TestInProcess:
+    def test_map_blif_and_stats(self, serve_blif):
+        with Client.in_process(workers=1) as client:
+            assert client.ping()
+            first = client.map_blif(serve_blif)
+            second = client.map_blif(serve_blif)
+            stats = client.stats()
+        assert first["ok"] and second["ok"]
+        assert second["cache_hit"] is True
+        assert stats["counters"]["jobs"] == 2
+        assert stats["cache"]["hits"] == 1
+
+    def test_wrap_shares_the_server(self, blif_spec):
+        server = MappingServer(workers=1)
+        try:
+            a = Client.wrap(server)
+            b = Client.wrap(server)
+            assert a.submit(blif_spec)["cache_hit"] is False
+            assert b.submit(blif_spec)["cache_hit"] is True
+        finally:
+            server.shutdown()
+
+    def test_map_circuit_builds_a_spec(self):
+        with Client.in_process(workers=1) as client:
+            envelope = client.map_circuit("9symml", flow="mis",
+                                          mode="area")
+        assert envelope["ok"]
+        assert envelope["result"]["circuit"] == "9symml"
+        assert envelope["result"]["flow"] == "mis"
+
+    def test_bad_options_raise_before_transport(self):
+        from repro.serve.jobs import JobError
+
+        with Client.in_process(workers=1) as client:
+            with pytest.raises(JobError, match="unknown job option"):
+                client.map_blif("x", bogus_option=1)
+
+    def test_server_property_exposes_wrapped_server(self):
+        with Client.in_process(workers=1) as client:
+            assert isinstance(client.server, MappingServer)
+
+
+@pytest.mark.slow
+class TestSubprocess:
+    def test_stdio_round_trip(self, serve_blif, tmp_path):
+        """Spawn ``python -m repro.serve --stdio`` and drive it."""
+        client = Client.subprocess(workers=1,
+                                  spill_dir=str(tmp_path / "spill"))
+        try:
+            assert client.ping()
+            first = client.map_blif(serve_blif, timeout=300)
+            second = client.map_blif(serve_blif, timeout=300)
+            assert first["ok"], first
+            assert second["ok"], second
+            assert second["cache_hit"] is True
+            assert second["result"] == first["result"]
+            stats = client.stats()
+            assert stats["counters"]["jobs"] == 2
+        finally:
+            client.shutdown()
+        # Spilled entries persist for the next process.
+        spilled = list((tmp_path / "spill").glob("*.json"))
+        assert len(spilled) == 1
+
+    def test_submit_spec_over_stdio(self, serve_blif):
+        client = Client.subprocess(workers=1)
+        try:
+            envelope = client.submit(
+                JobSpec(blif=serve_blif, flow="mis"), timeout=300)
+            assert envelope["ok"]
+            assert envelope["result"]["flow"] == "mis"
+        finally:
+            client.shutdown()

@@ -1,0 +1,117 @@
+"""Job specs, content-addressed keys and deterministic payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.blif import parse_blif
+from repro.serve.jobs import (
+    JobError,
+    JobSpec,
+    job_key,
+    network_hash,
+    payload_hash,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestValidation:
+    def test_valid_circuit_spec(self):
+        JobSpec(circuit="9symml").validate()
+
+    def test_valid_blif_spec(self, serve_blif):
+        JobSpec(blif=serve_blif, flow="mis", mode="timing").validate()
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        ({}, "exactly one"),                                   # no source
+        ({"circuit": "a", "blif": "b"}, "exactly one"),        # two sources
+        ({"circuit": "a", "flow": "sis"}, "unknown flow"),
+        ({"circuit": "a", "mode": "power"}, "unknown mode"),
+        ({"circuit": "a", "library": "huge"}, "unknown library"),
+        ({"circuit": "a", "scale": 0.0}, "scale"),
+        ({"circuit": "a", "scale": -2.0}, "scale"),
+        ({"circuit": "a", "verify": "paranoid"}, "verify"),
+        ({"circuit": "a", "wire_cap": (1.0,)}, "wire_cap"),
+        ({"circuit": "a", "flow": "mis", "layout_driven": True},
+         "Lily-only"),
+        ({"circuit": "a", "flow": "mis",
+          "seed_backend_from_mapper": True}, "Lily-only"),
+    ])
+    def test_bad_specs_raise(self, kwargs, needle):
+        with pytest.raises(JobError, match=needle):
+            JobSpec(**kwargs).validate()
+
+    def test_custom_genlib_skips_library_check(self):
+        # A custom genlib makes the built-in library name irrelevant.
+        spec = JobSpec(circuit="a", library="anything",
+                       genlib="GATE inv 1.0 O=!a; PIN a INV 1 999 1 .2 1 .2")
+        spec.validate()
+
+    def test_from_dict_rejects_unknown_options(self):
+        with pytest.raises(JobError, match="unknown job option"):
+            JobSpec.from_dict({"circuit": "a", "efort": "max"})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(JobError, match="object"):
+            JobSpec.from_dict(["circuit", "a"])
+
+    def test_from_dict_roundtrips_through_to_dict(self, serve_blif):
+        spec = JobSpec(blif=serve_blif, flow="mis", mode="timing",
+                       wire_cap=(4.0e-4, 3.0e-4), verify="fast")
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_from_dict_coerces_wire_cap_to_tuple(self):
+        spec = JobSpec.from_dict(
+            {"circuit": "a", "wire_cap": [1.0e-4, 2.0e-4]})
+        assert spec.wire_cap == (1.0e-4, 2.0e-4)
+
+
+class TestJobKey:
+    def test_same_inputs_same_key(self, serve_blif):
+        spec = JobSpec(blif=serve_blif)
+        assert job_key(spec, "n" * 8, "l" * 8) \
+            == job_key(JobSpec(blif=serve_blif), "n" * 8, "l" * 8)
+
+    @pytest.mark.parametrize("change", [
+        {"flow": "mis"},
+        {"mode": "timing"},
+        {"verify": "fast"},
+        {"wire_cap": (4.0e-4, 3.0e-4)},
+        {"layout_driven": True},
+    ])
+    def test_option_changes_change_key(self, serve_blif, change):
+        base = JobSpec(blif=serve_blif)
+        other = JobSpec(blif=serve_blif, **change)
+        assert job_key(base, "n", "l") != job_key(other, "n", "l")
+
+    def test_netlist_and_library_hash_enter_key(self, serve_blif):
+        spec = JobSpec(blif=serve_blif)
+        assert job_key(spec, "n1", "l") != job_key(spec, "n2", "l")
+        assert job_key(spec, "n", "l1") != job_key(spec, "n", "l2")
+
+    def test_blif_formatting_washes_out(self, serve_blif):
+        """Comments/whitespace differences hash to the same netlist."""
+        noisy = "# a comment\n" + serve_blif.replace(
+            ".names a b t1", ".names  a  b   t1")
+        assert network_hash(parse_blif(noisy)) \
+            == network_hash(parse_blif(serve_blif))
+
+    def test_scale_distinguishes_circuit_jobs(self):
+        """Scale reshapes a named circuit, so it reaches the key via the
+        netlist hash (the serve network cache keys on (name, scale))."""
+        from repro.circuits.suite import build_circuit
+
+        assert network_hash(build_circuit("C432", scale=1.0)) \
+            != network_hash(build_circuit("C432", scale=2.0))
+
+
+class TestPayload:
+    def test_payload_hash_ignores_key_order(self):
+        a = {"x": 1, "y": [1, 2]}
+        b = {"y": [1, 2], "x": 1}
+        assert payload_hash(a) == payload_hash(b)
+
+    def test_payload_hash_tracks_content(self):
+        assert payload_hash({"x": 1}) != payload_hash({"x": 2})

@@ -1,0 +1,174 @@
+"""The JSON-lines protocol: request dispatch, stdio stream, TCP socket."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.serve import MappingServer, handle_request, serve_socket
+from repro.serve.protocol import connect_lines, serve_stream
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture()
+def server():
+    with MappingServer(workers=1) as srv:
+        yield srv
+
+
+class TestHandleRequest:
+    def test_ping(self, server):
+        assert handle_request(server, {"op": "ping"}) \
+            == {"ok": True, "status": "pong"}
+
+    def test_id_is_echoed(self, server):
+        response = handle_request(server, {"op": "ping", "id": 42})
+        assert response["id"] == 42
+
+    def test_stats(self, server):
+        response = handle_request(server, {"op": "stats"})
+        assert response["ok"]
+        assert response["stats"]["counters"]["jobs"] == 0
+
+    def test_unknown_op(self, server):
+        response = handle_request(server, {"op": "frobnicate"})
+        assert not response["ok"]
+        assert "unknown op" in response["error"]
+
+    def test_non_object_request(self, server):
+        response = handle_request(server, ["op", "ping"])
+        assert not response["ok"]
+        assert "object" in response["error"]
+
+    def test_bad_job_answers_error(self, server):
+        response = handle_request(
+            server, {"op": "map", "job": {"circuit": "x", "blif": "y"}})
+        assert not response["ok"]
+        assert "exactly one" in response["error"]
+
+    def test_unknown_option_answers_error(self, server):
+        response = handle_request(
+            server, {"op": "map", "job": {"circuit": "x", "mod": "area"}})
+        assert not response["ok"]
+        assert "unknown job option" in response["error"]
+
+    def test_map_runs_a_job(self, server, serve_blif):
+        response = handle_request(
+            server, {"op": "map", "id": 7,
+                     "job": {"blif": serve_blif, "flow": "lily"}})
+        assert response["ok"]
+        assert response["id"] == 7
+        assert response["result"]["num_gates"] > 0
+
+    def test_shutdown_flags_the_loop(self, server):
+        response = handle_request(server, {"op": "shutdown"})
+        assert response["ok"]
+        assert response["shutdown"] is True
+
+
+class TestServeStream:
+    def _run(self, server, lines):
+        inp = io.StringIO("".join(line + "\n" for line in lines))
+        out = io.StringIO()
+        stopped = serve_stream(server, inp, out)
+        responses = [json.loads(raw) for raw in
+                     out.getvalue().splitlines()]
+        return stopped, responses
+
+    def test_requests_answer_in_order(self, server):
+        stopped, responses = self._run(server, [
+            json.dumps({"op": "ping", "id": 1}),
+            json.dumps({"op": "stats", "id": 2}),
+        ])
+        assert stopped is True            # EOF counts as shutdown
+        assert [r["id"] for r in responses] == [1, 2]
+
+    def test_bad_json_answers_error_and_continues(self, server):
+        stopped, responses = self._run(server, [
+            "{this is not json",
+            json.dumps({"op": "ping", "id": 2}),
+        ])
+        assert not responses[0]["ok"]
+        assert "bad JSON" in responses[0]["error"]
+        assert responses[1]["ok"]
+
+    def test_blank_lines_are_skipped(self, server):
+        _, responses = self._run(server, [
+            "", json.dumps({"op": "ping", "id": 1}), "   ",
+        ])
+        assert len(responses) == 1
+
+    def test_shutdown_stops_before_later_requests(self, server):
+        stopped, responses = self._run(server, [
+            json.dumps({"op": "shutdown", "id": 1}),
+            json.dumps({"op": "ping", "id": 2}),
+        ])
+        assert stopped is True
+        assert len(responses) == 1        # the ping never ran
+
+
+class TestSocket:
+    def test_socket_round_trip(self, server, serve_blif):
+        ready = threading.Event()
+        bound = []
+        thread = threading.Thread(
+            target=serve_socket, args=(server, "127.0.0.1", 0),
+            kwargs={"ready": ready, "bound_port": bound}, daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        sock, reader, writer = connect_lines("127.0.0.1", bound[0])
+
+        def ask(request):
+            writer.write(json.dumps(request) + "\n")
+            writer.flush()
+            return json.loads(reader.readline())
+
+        try:
+            assert ask({"op": "ping", "id": 1})["ok"]
+            first = ask({"op": "map", "id": 2,
+                         "job": {"blif": serve_blif}, "timeout": 120})
+            second = ask({"op": "map", "id": 3,
+                          "job": {"blif": serve_blif}, "timeout": 120})
+            assert first["ok"] and second["ok"]
+            assert second["cache_hit"] is True
+            assert second["result_sha256"] == first["result_sha256"]
+            assert ask({"op": "shutdown", "id": 4})["shutdown"] is True
+        finally:
+            for stream in (reader, writer):
+                stream.close()
+            sock.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_two_connections_share_the_cache(self, server, serve_blif):
+        ready = threading.Event()
+        bound = []
+        thread = threading.Thread(
+            target=serve_socket, args=(server, "127.0.0.1", 0),
+            kwargs={"ready": ready, "bound_port": bound}, daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+
+        def one_shot(request):
+            sock, reader, writer = connect_lines("127.0.0.1", bound[0])
+            try:
+                writer.write(json.dumps(request) + "\n")
+                writer.flush()
+                return json.loads(reader.readline())
+            finally:
+                reader.close(), writer.close(), sock.close()
+
+        try:
+            first = one_shot({"op": "map", "job": {"blif": serve_blif},
+                              "timeout": 120})
+            second = one_shot({"op": "map", "job": {"blif": serve_blif},
+                               "timeout": 120})
+            assert first["ok"] and second["ok"]
+            assert second["cache_hit"] is True
+        finally:
+            one_shot({"op": "shutdown"})
+            thread.join(timeout=10.0)

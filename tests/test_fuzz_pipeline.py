@@ -20,6 +20,8 @@ from repro.network.optimize import clean_network
 from repro.network.simulate import networks_equivalent
 from repro.circuits.random_logic import random_network
 
+pytestmark = pytest.mark.fuzz
+
 FUZZ_SETTINGS = settings(
     max_examples=12,
     deadline=None,

@@ -7,8 +7,6 @@ bug, not noise.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.circuits.random_logic import random_network
@@ -23,12 +21,11 @@ from repro.timing.sta import analyze, required_times
 WIRE = WireCapModel()
 
 
-def _mapped_with_positions(seed=2):
-    """A mapped netlist with synthetic (deterministic) placements."""
-    net = random_network("ista", 6, 3, 24, seed=seed)
+def _mapped_with_positions(rng):
+    """A mapped netlist with synthetic placements, all drawn from *rng*."""
+    net = random_network("ista", 6, 3, 24, seed=rng.randrange(2 ** 31))
     mapped = MisAreaMapper(big_library()).map(
         decompose_to_subject(net)).mapped
-    rng = random.Random(seed)
     for node in mapped.topological_order():
         node.position = Point(rng.uniform(0, 200), rng.uniform(0, 200))
     return mapped
@@ -45,17 +42,17 @@ def _same_report(live, full):
 
 
 class TestForwardUpdates:
-    def test_initial_report_is_full_analysis(self):
-        mapped = _mapped_with_positions()
+    def test_initial_report_is_full_analysis(self, seeded_rng):
+        mapped = _mapped_with_positions(seeded_rng("ista", "initial"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         _same_report(engine.report, analyze(mapped, wire_model=WIRE))
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_random_move_loop_exact(self, seed):
-        mapped = _mapped_with_positions(seed=seed)
+    def test_random_move_loop_exact(self, seed, seeded_rng):
+        rng = seeded_rng("ista", "moves", seed)
+        mapped = _mapped_with_positions(rng)
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         gates = sorted(g.name for g in mapped.gates)
-        rng = random.Random(seed * 7 + 1)
         for _ in range(25):
             name = gates[rng.randrange(len(gates))]
             p = mapped[name].position
@@ -64,18 +61,18 @@ class TestForwardUpdates:
             live = engine.update()
             _same_report(live, analyze(mapped, wire_model=WIRE))
 
-    def test_batched_moves_exact(self):
-        mapped = _mapped_with_positions()
+    def test_batched_moves_exact(self, seeded_rng):
+        rng = seeded_rng("ista", "batch")
+        mapped = _mapped_with_positions(rng)
         engine = IncrementalTiming(mapped, wire_model=WIRE)
-        rng = random.Random(17)
         gates = sorted(g.name for g in mapped.gates)
         for name in rng.sample(gates, min(6, len(gates))):
             p = mapped[name].position
             engine.set_position(name, Point(p.x + 5.0, p.y - 3.0))
         _same_report(engine.update(), analyze(mapped, wire_model=WIRE))
 
-    def test_input_arrival_change(self):
-        mapped = _mapped_with_positions()
+    def test_input_arrival_change(self, seeded_rng):
+        mapped = _mapped_with_positions(seeded_rng("ista", "arrival"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         pi = mapped.primary_inputs[0].name
         engine.set_input_arrival(pi, 4.5)
@@ -84,16 +81,16 @@ class TestForwardUpdates:
                        input_arrivals={pi: 4.5})
         _same_report(live, full)
 
-    def test_noop_update_is_free(self):
-        mapped = _mapped_with_positions()
+    def test_noop_update_is_free(self, seeded_rng):
+        mapped = _mapped_with_positions(seeded_rng("ista", "noop"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         before = engine.nodes_recomputed
         engine.update()
         assert engine.nodes_recomputed == before
 
-    def test_frontier_smaller_than_netlist(self):
+    def test_frontier_smaller_than_netlist(self, seeded_rng):
         """A single move must not re-visit the whole netlist."""
-        mapped = _mapped_with_positions()
+        mapped = _mapped_with_positions(seeded_rng("ista", "frontier"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         name = sorted(g.name for g in mapped.gates)[0]
         p = mapped[name].position
@@ -104,10 +101,10 @@ class TestForwardUpdates:
 
 class TestRequiredTimes:
     @pytest.mark.parametrize("deadline", [None, 40.0])
-    def test_required_matches_full(self, deadline):
-        mapped = _mapped_with_positions()
+    def test_required_matches_full(self, deadline, seeded_rng):
+        rng = seeded_rng("ista", "required", deadline)
+        mapped = _mapped_with_positions(rng)
         engine = IncrementalTiming(mapped, wire_model=WIRE)
-        rng = random.Random(3)
         gates = sorted(g.name for g in mapped.gates)
         for _ in range(10):
             name = gates[rng.randrange(len(gates))]
@@ -119,8 +116,8 @@ class TestRequiredTimes:
             want = required_times(mapped, full, deadline)
             assert got == want
 
-    def test_deadline_switch_recomputes(self):
-        mapped = _mapped_with_positions()
+    def test_deadline_switch_recomputes(self, seeded_rng):
+        mapped = _mapped_with_positions(seeded_rng("ista", "deadline"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         loose = engine.required(100.0)
         tight = engine.required(10.0)
@@ -130,15 +127,15 @@ class TestRequiredTimes:
 
 
 class TestCrossCheck:
-    def test_clean_engine_passes(self):
-        mapped = _mapped_with_positions()
+    def test_clean_engine_passes(self, seeded_rng):
+        mapped = _mapped_with_positions(seeded_rng("ista", "clean"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         assert engine.check_against_full() == []
 
-    def test_corruption_is_detected(self):
+    def test_corruption_is_detected(self, seeded_rng):
         from repro.timing.sta import ArrivalTimes
 
-        mapped = _mapped_with_positions()
+        mapped = _mapped_with_positions(seeded_rng("ista", "corrupt"))
         engine = IncrementalTiming(mapped, wire_model=WIRE)
         gate = sorted(g.name for g in mapped.gates)[0]
         engine.report.arrivals[gate] = ArrivalTimes(-1.0, -1.0)
@@ -148,10 +145,10 @@ class TestCrossCheck:
 
 
 class TestVerifyIntegration:
-    def test_invariant_checker_passes(self):
+    def test_invariant_checker_passes(self, seeded_rng):
         from repro.verify.invariants import check_incremental_sta
 
-        mapped = _mapped_with_positions()
+        mapped = _mapped_with_positions(seeded_rng("ista", "invariant"))
         saved = {n.name: n.position for n in mapped.nodes}
         results = check_incremental_sta(mapped, wire_model=WIRE, trials=2)
         assert len(results) == 1

@@ -1,0 +1,59 @@
+"""CI smoke for the mapping service.
+
+Spawns ``python -m repro.serve --stdio`` as a subprocess, submits the
+same job twice, and asserts that the second answer is a bit-identical
+cache hit.  Exercises the whole serve stack end to end: spec
+validation, the JSON-lines transport, warm state, the result cache and
+graceful shutdown.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/serve_smoke.py [circuit]
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def fail(message: str) -> "int":
+    print(f"serve smoke FAILED: {message}")
+    return 1
+
+
+def main(argv) -> int:
+    from repro.serve import Client
+
+    circuit = argv[1] if len(argv) > 1 else "misex1"
+    client = Client.subprocess(workers=1)
+    try:
+        if not client.ping():
+            return fail("server did not answer ping")
+        first = client.map_circuit(circuit, flow="lily", mode="area",
+                                   timeout=600)
+        if not first.get("ok"):
+            return fail(f"first job errored: {first.get('error')}")
+        if first.get("cache_hit"):
+            return fail("first job must be a cache miss")
+        second = client.map_circuit(circuit, flow="lily", mode="area",
+                                    timeout=600)
+        if not second.get("ok"):
+            return fail(f"second job errored: {second.get('error')}")
+        if not second.get("cache_hit"):
+            return fail("second identical job must be a cache hit")
+        if second["result_sha256"] != first["result_sha256"]:
+            return fail("cache hit changed the result payload")
+        stats = client.stats()
+        hits = stats.get("cache", {}).get("hits")
+        if hits != 1:
+            return fail(f"expected exactly 1 cache hit, stats say {hits}")
+    finally:
+        client.shutdown()
+    print(f"serve smoke ok: {circuit} mapped once, answered twice "
+          f"(gates={first['result']['num_gates']}, "
+          f"sha={first['result_sha256'][:12]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
