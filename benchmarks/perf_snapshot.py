@@ -19,11 +19,20 @@ the caches off) and a ``--suite`` mode that times a whole Table 1 run
 sequentially and with ``--procs N``, recording per-circuit phase times
 from the merged observability reports.
 
+PR 6 adds a ``lily_map_observed`` twin (the full mapper under a live
+``repro.obs`` session, recording the telemetry-on overhead next to the
+telemetry-off row) and a ``serve`` section: an in-process mapping
+service runs the same circuit repeatedly (cache cleared between
+requests so every one is a genuine mapping) and the artifact records
+the p50/p90/p99 the server's always-on latency and queue-wait
+histograms answer.  ``tools/bench_trajectory.py`` diffs any two of
+these artifacts.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 4] [--circuit C880] [--repeats 3] [--jobs 1]
-        [--suite] [--procs 4]
+        [--pr 6] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--suite] [--procs 4] [--serve-requests 6]
 """
 
 from __future__ import annotations
@@ -110,12 +119,16 @@ def snapshot(
         "sta": _best_of(lambda: analyze(mapped, wire_model=None), repeats),
     }
     timings.update(_layout_rows(net, mapped, repeats))
-    # The same matcher sweep with tracing+metrics live, so the snapshot
-    # records the observability overhead explicitly.
+    # The same matcher sweep and full mapper with tracing+metrics live,
+    # so the snapshot records the observability overhead explicitly.
     with observed():
         timings["matching_observed"] = _best_of(
             lambda: sum(len(matcher.matches_at(n)) for n in gate_nodes),
             repeats,
+        )
+        timings["lily_map_observed"] = _best_of(
+            lambda: LilyAreaMapper(library, perf=perf).map(subject),
+            max(1, repeats - 1),
         )
     return timings
 
@@ -185,6 +198,45 @@ def _layout_rows(net, mapped, repeats: int) -> Dict[str, float]:
     }
 
 
+def serve_snapshot(circuit: str = "C880",
+                   requests: int = 6) -> Dict[str, object]:
+    """Latency percentiles from an in-process mapping service.
+
+    Submits the circuit ``requests`` times, clearing the result cache
+    between submissions so every request is a genuine mapping and the
+    server's always-on ``serve.latency_s`` / ``serve.queue_wait_s``
+    histograms accumulate real mass; one final uncleaned repeat records
+    the cache-hit path.  The recorded p50/p90/p99 are what a ``metrics``
+    scrape of a production server answers for this workload.
+    """
+    from repro.serve.client import Client
+
+    assert not OBS.enabled
+    with Client.in_process(workers=1) as client:
+        for i in range(requests):
+            if i:
+                client.server.cache.clear()
+            response = client.map_circuit(circuit, flow="lily")
+            if not response.get("ok"):
+                raise RuntimeError(f"serve row failed: {response}")
+        hit = client.map_circuit(circuit, flow="lily")
+        snapshot_now = client.metrics()
+    rows: Dict[str, object] = {
+        "circuit": circuit,
+        "requests": requests,
+        "final_request_cache_hit": bool(hit.get("cache_hit")),
+    }
+    for name in ("serve.latency_s", "serve.queue_wait_s"):
+        summary = snapshot_now.get("histograms", {}).get(name)
+        if not summary or not summary.get("count"):
+            continue
+        short = name.split(".", 1)[1]
+        rows[f"{short}_count"] = summary["count"]
+        for quantile in ("p50", "p90", "p99"):
+            rows[f"{short}_{quantile}"] = round(summary[quantile], 6)
+    return rows
+
+
 def suite_snapshot(procs: int = 4) -> Dict[str, object]:
     """Time a full Table 1 run sequentially and with a process pool.
 
@@ -237,7 +289,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("out", nargs="?", default=None,
                         help="output path (default BENCH_PR<n>.json)")
-    parser.add_argument("--pr", type=int, default=4,
+    parser.add_argument("--pr", type=int, default=6,
                         help="PR number stamped into the artifact")
     parser.add_argument("--circuit", default="C880")
     parser.add_argument("--repeats", type=int, default=3)
@@ -249,6 +301,11 @@ def main(argv=None) -> int:
                              "vs --procs N and record per-circuit phases")
     parser.add_argument("--procs", type=int, default=4,
                         help="process-pool width for --suite")
+    parser.add_argument("--serve-requests", type=int, default=6,
+                        metavar="N",
+                        help="requests driven through the in-process "
+                             "mapping service for the latency-percentile "
+                             "rows (0 skips the serve section)")
     args = parser.parse_args(argv)
     out = args.out or f"BENCH_PR{args.pr}.json"
 
@@ -260,6 +317,9 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
     }
+    if args.serve_requests:
+        doc["serve"] = serve_snapshot(args.circuit,
+                                      requests=args.serve_requests)
     if args.suite:
         doc["suite"] = suite_snapshot(procs=args.procs)
     with open(out, "w") as f:
@@ -268,6 +328,12 @@ def main(argv=None) -> int:
     print(f"wrote {out}")
     for name, seconds in sorted(timings.items()):
         print(f"  {name:<24}{seconds:>10.4f}s")
+    if args.serve_requests:
+        s = doc["serve"]
+        print(f"  serve latency_s         p50 {s['latency_s_p50']:.4f}  "
+              f"p90 {s['latency_s_p90']:.4f}  "
+              f"p99 {s['latency_s_p99']:.4f}  "
+              f"({s['latency_s_count']} mapped)")
     if args.suite:
         s = doc["suite"]
         print(f"  table1 sequential     {s['table1_seq_s']:>10.4f}s")

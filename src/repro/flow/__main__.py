@@ -164,6 +164,13 @@ def _tables_served(args, circuits, verify) -> int:
                   f"({cache['disk_hits']} from disk), "
                   f"{cache['misses']} misses, "
                   f"{stats['counters']['degraded']} degraded")
+            latency = client.metrics().get(
+                "histograms", {}).get("serve.latency_s")
+            if latency and latency.get("count"):
+                print(f"serve latency_s: p50 {latency['p50']:.4g}, "
+                      f"p90 {latency['p90']:.4g}, "
+                      f"p99 {latency['p99']:.4g} "
+                      f"({latency['count']} mapped)")
             if args.profile:
                 merged = client.server.merged_obs()
                 if merged is not None:

@@ -20,9 +20,25 @@ and from a driver::
 
 With the session disabled (the default) the instrumentation costs one
 attribute check per site; ``OBS.span`` returns a shared no-op context.
+
+Beyond spans and metrics, the package carries the production-telemetry
+pieces the serving stack uses: request-scoped structured event logs
+(``repro.obs.events``), percentile-capable log-bucket histograms
+(``repro.obs.metrics``), Prometheus text exposition
+(``repro.obs.expo``) and a top-like live console
+(``python -m repro.obs.monitor``).  See ``docs/OBSERVING.md``.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.events import EventLog, new_request_id
+from repro.obs.expo import format_prometheus, sanitize_metric_name
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    merge_histogram_summaries,
+    percentile_from_buckets,
+)
 from repro.obs.report import ObsReport, PhaseStat, build_report, merge_reports
 from repro.obs.session import OBS, ObsSession, get_session, observed
 from repro.obs.tracer import Span, Tracer
@@ -38,6 +54,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "merge_histogram_summaries",
+    "percentile_from_buckets",
+    "EventLog",
+    "new_request_id",
+    "format_prometheus",
+    "sanitize_metric_name",
     "ObsReport",
     "PhaseStat",
     "build_report",

@@ -1,0 +1,184 @@
+"""Request-scoped structured event logging (JSONL, ring-buffered).
+
+An :class:`EventLog` records *events*: small JSON-ready dicts stamped
+with a wall-clock timestamp, a monotonically increasing sequence
+number, a ``kind`` (``"job.received"``, ``"job.start"``,
+``"job.done"``, …) and — for anything caused by a serve request — the
+request's ``request_id``.  One grep (or :meth:`EventLog.events` with a
+``request_id`` filter) reconstructs a request's full lifecycle across
+the cache probe, single-flight join, worker execution, degradation,
+timeout and completion paths.
+
+Storage is a bounded in-memory ring (old events fall off the front),
+so a long-lived server never grows without bound; an optional *stream*
+additionally appends every event to a JSONL file as it happens, which
+is the durable form.  Both the ring and the stream hold the same
+records::
+
+    {"seq": 12, "ts": 1723111845.123456, "kind": "job.start",
+     "request_id": "req-9f31c2d44ab0", "key": "9a1b…", "queue_wait_s": 0.004}
+
+Emission is cheap (one dict build + deque append under a lock) and the
+log is thread-safe — server workers, the submit path and protocol
+threads all write to one instance.
+
+Request ids come from :func:`new_request_id`: 12 hex chars of
+``uuid4`` under a ``req-`` prefix — unique enough for any realistic
+retention window, short enough to read in a grep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = ["EventLog", "new_request_id", "DEFAULT_RING_SIZE"]
+
+#: Default ring bound: plenty for thousands of request lifecycles while
+#: staying a few MB at worst.
+DEFAULT_RING_SIZE = 4096
+
+
+def new_request_id() -> str:
+    """A fresh request id: ``req-`` + 12 hex chars of ``uuid4``."""
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+class EventLog:
+    """Thread-safe ring buffer of structured events, optionally
+    streamed to a JSONL file.
+
+    Args:
+        ring_size: maximum events kept in memory (older ones drop).
+        stream: a path or an open text file; every emitted event is
+            appended as one JSON line (the durable tier — the ring is
+            for live introspection).  A path is opened lazily in append
+            mode on first emit and closed by :meth:`close`.
+    """
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE,
+                 stream: Optional[Union[str, IO[str]]] = None) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.ring_size = ring_size
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+        self._stream_path: Optional[str] = None
+        self._stream: Optional[IO[str]] = None
+        if isinstance(stream, str):
+            self._stream_path = stream
+        elif stream is not None:
+            self._stream = stream
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (still in the stream, if any)."""
+        with self._lock:
+            return self._dropped
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, kind: str, request_id: Optional[str] = None,
+             **attrs: Any) -> Dict[str, Any]:
+        """Record one event; returns the stored record.
+
+        ``attrs`` must be JSON-ready scalars/containers (they are
+        written verbatim to the stream).  ``request_id`` is stored only
+        when given, so unscoped server events (start-up, shutdown)
+        don't carry a misleading empty id.
+        """
+        record: Dict[str, Any] = {"ts": time.time(), "kind": kind}
+        if request_id is not None:
+            record["request_id"] = request_id
+        record.update(attrs)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            if len(self._ring) == self.ring_size:
+                self._dropped += 1
+            self._ring.append(record)
+            stream = self._ensure_stream()
+            if stream is not None:
+                try:
+                    stream.write(json.dumps(record, sort_keys=True) + "\n")
+                    stream.flush()
+                except (OSError, ValueError):
+                    # A torn stream must never take the server down;
+                    # the in-memory ring keeps working.
+                    self._stream = None
+        return record
+
+    def _ensure_stream(self) -> Optional[IO[str]]:
+        """The live stream handle, opening a configured path lazily."""
+        if self._stream is None and self._stream_path is not None:
+            try:
+                self._stream = open(self._stream_path, "a")
+            except OSError:
+                self._stream_path = None
+        return self._stream
+
+    # -- reading ------------------------------------------------------------
+
+    def events(self, request_id: Optional[str] = None,
+               kind: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Ring contents (oldest first), optionally filtered.
+
+        ``request_id`` keeps only one request's lifecycle; ``kind``
+        keeps one event kind; ``limit`` keeps the *newest* N after
+        filtering (what a scraper or the monitor wants).
+        """
+        with self._lock:
+            records = list(self._ring)
+        if request_id is not None:
+            records = [r for r in records
+                       if r.get("request_id") == request_id]
+        if kind is not None:
+            records = [r for r in records if r.get("kind") == kind]
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return records
+
+    def to_jsonl(self, request_id: Optional[str] = None) -> str:
+        """The (filtered) ring as JSONL text, one event per line."""
+        return "\n".join(
+            json.dumps(r, sort_keys=True)
+            for r in self.events(request_id=request_id)
+        )
+
+    def write_jsonl(self, path: str,
+                    request_id: Optional[str] = None) -> int:
+        """Dump the (filtered) ring to ``path``; returns events written."""
+        records = self.events(request_id=request_id)
+        with open(path, "w") as f:
+            for record in records:
+                f.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop the ring (the stream file, if any, is left alone)."""
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    def close(self) -> None:
+        """Close a stream the log opened itself (path-configured)."""
+        with self._lock:
+            if self._stream is not None and self._stream_path is not None:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
+                self._stream = None

@@ -1,0 +1,104 @@
+"""Prometheus-style text exposition of metrics snapshots.
+
+:func:`format_prometheus` renders the JSON-ready snapshot shape that
+:meth:`repro.obs.metrics.Metrics.snapshot` (and
+``MappingServer.metrics_snapshot``) produce —
+``{"counters": …, "gauges": …, "histograms": …}`` — as the Prometheus
+text exposition format (version 0.0.4)::
+
+    # TYPE repro_serve_jobs counter
+    repro_serve_jobs 42
+    # TYPE repro_serve_latency_s histogram
+    repro_serve_latency_s_bucket{le="0.001953"} 3
+    repro_serve_latency_s_bucket{le="+Inf"} 42
+    repro_serve_latency_s_sum 1.234
+    repro_serve_latency_s_count 42
+
+Metric names are sanitised (``serve.cache.hits`` →
+``repro_serve_cache_hits``); histogram bucket lines are *cumulative*
+counts with the bucket's upper boundary as the ``le`` label, exactly as
+a Prometheus scraper expects, followed by ``_sum`` and ``_count``.  The
+p50/p90/p99 summary fields are additionally exposed as
+``{quantile="…"}`` gauge lines so a human scraping with ``curl`` reads
+percentiles without histogram_quantile math.
+
+The formatter is a pure function of the snapshot — no sockets or HTTP
+here.  The serve protocol's ``metrics`` verb with
+``"format": "prometheus"`` returns this text, which is what makes a
+running server scrapeable without restart.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.obs.metrics import bucket_bounds
+
+__all__ = ["format_prometheus", "sanitize_metric_name"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name: prefixed, dots to underscores."""
+    cleaned = _NAME_OK.sub("_", name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: Any) -> str:
+    """A number rendered the way Prometheus parsers like it."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def format_prometheus(snapshot: Dict[str, Any],
+                      prefix: str = "repro") -> str:
+    """The text exposition of one metrics snapshot (ends with ``\\n``).
+
+    ``snapshot`` holds any of ``counters`` / ``gauges`` /
+    ``histograms`` (missing sections are fine).  Histogram values may
+    be new-schema summaries with sparse ``buckets`` or old-schema
+    count/mean/min/max dicts — the latter just skip the bucket lines.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges") or {}):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        summary = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name, prefix)
+        count = int(summary.get("count", 0) or 0)
+        lines.append(f"# TYPE {metric} histogram")
+        buckets = summary.get("buckets") or {}
+        cumulative = 0
+        for index, n in sorted((int(k), v) for k, v in buckets.items()):
+            cumulative += int(n)
+            upper = bucket_bounds(index)[1]
+            lines.append(
+                f'{metric}_bucket{{le="{upper:.6g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        # Old-schema summaries (pre-percentile workers) lack "sum";
+        # mean * count is the same quantity.
+        total = summary.get("sum")
+        if total is None:
+            total = float(summary.get("mean", 0.0)) * count
+        lines.append(f"{metric}_sum {_fmt(total)}")
+        lines.append(f"{metric}_count {count}")
+        for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} {_fmt(summary[key])}')
+    return "\n".join(lines) + "\n"

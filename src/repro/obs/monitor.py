@@ -1,0 +1,158 @@
+"""``python -m repro.obs.monitor`` — a top-like console for a serve
+frontend.
+
+Polls a running ``python -m repro.serve --socket HOST:PORT`` server
+over the JSON-lines protocol (the ``metrics`` + ``health`` verbs — no
+restart, no ``--observe``) and renders a live dashboard: request and
+error rates over the last polling window, cumulative cache hit rate,
+queue depth and the latency/queue-wait percentiles from the server's
+log-bucket histograms::
+
+    python -m repro.obs.monitor 127.0.0.1:7878 --interval 2
+
+    repro.serve @ 127.0.0.1:7878 — ok, up 142s, 2 workers
+    window 2.0s   jobs/s 14.5   errors/s 0.0   queue depth 3
+    totals        jobs 412   completed 409   degraded 1   timeouts 0
+    cache         hit rate 63.1%   entries 128   disk hits 12
+    latency_s     p50 0.0181   p90 0.0423   p99 0.1190   mean 0.0232
+    queue_wait_s  p50 0.0009   p90 0.0041   p99 0.0102
+
+``--iterations N`` exits after N polls (0 = forever), which is how the
+tests and one-shot health checks drive it; ``--no-clear`` appends
+frames instead of redrawing in place.  The rendering itself is the
+pure function :func:`render_dashboard`, so every number on screen is
+unit-testable without a socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["render_dashboard", "main"]
+
+#: ANSI clear-screen + cursor-home, the in-place redraw prefix.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _rate(cur: Dict[str, Any], prev: Optional[Dict[str, Any]],
+          name: str, dt: float) -> float:
+    """Per-second rate of a counter over the last polling window."""
+    if prev is None or dt <= 0:
+        return 0.0
+    now = cur.get("counters", {}).get(name, 0)
+    before = prev.get("counters", {}).get(name, 0)
+    return max(0.0, (now - before) / dt)
+
+
+def _hist_row(label: str, summary: Optional[Dict[str, Any]]) -> str:
+    """One percentile line of the dashboard (blank-safe)."""
+    if not summary or not summary.get("count"):
+        return f"{label:<14}(no observations yet)"
+    return (f"{label:<14}"
+            f"p50 {summary.get('p50', 0.0):<10.4g}"
+            f"p90 {summary.get('p90', 0.0):<10.4g}"
+            f"p99 {summary.get('p99', 0.0):<10.4g}"
+            f"mean {summary.get('mean', 0.0):<10.4g}"
+            f"n {summary.get('count', 0)}")
+
+
+def render_dashboard(
+    metrics: Dict[str, Any],
+    health: Dict[str, Any],
+    previous: Optional[Dict[str, Any]] = None,
+    dt: float = 0.0,
+    address: str = "",
+) -> str:
+    """One dashboard frame from a metrics snapshot + health summary.
+
+    ``previous`` is the prior poll's metrics snapshot (rates render as
+    0 on the first frame); ``dt`` the wall seconds between the two.
+    Pure — no sockets, no clock reads — so tests feed it synthetic
+    snapshots and assert exact strings.
+    """
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    hits = counters.get("serve.cache.hits", 0)
+    misses = counters.get("serve.cache.misses", 0)
+    probes = hits + misses
+    hit_rate = 100.0 * hits / probes if probes else 0.0
+    lines = [
+        (f"repro.serve @ {address or 'server'} — "
+         f"{health.get('status', '?')}, "
+         f"up {health.get('uptime_s', 0.0):.0f}s, "
+         f"{health.get('workers', '?')} workers"),
+        (f"{'window ' + format(dt, '.1f') + 's':<14}"
+         f"jobs/s {_rate(metrics, previous, 'serve.jobs', dt):<8.1f}"
+         f"errors/s {_rate(metrics, previous, 'serve.errors', dt):<8.1f}"
+         f"queue depth {gauges.get('serve.queue_depth', 0):.0f}"),
+        (f"{'totals':<14}"
+         f"jobs {counters.get('serve.jobs', 0):<8}"
+         f"completed {counters.get('serve.completed', 0):<8}"
+         f"degraded {counters.get('serve.degraded', 0):<6}"
+         f"timeouts {counters.get('serve.timeouts', 0):<6}"
+         f"slow {counters.get('serve.slow', 0)}"),
+        (f"{'cache':<14}"
+         f"hit rate {format(hit_rate, '.1f') + '%':<9}"
+         f"entries {gauges.get('serve.cache.entries', 0):<8.0f}"
+         f"disk hits {counters.get('serve.cache.disk_hits', 0)}"),
+        _hist_row("latency_s", histograms.get("serve.latency_s")),
+        _hist_row("queue_wait_s", histograms.get("serve.queue_wait_s")),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="repro.obs.monitor")
+    parser.add_argument("address", metavar="HOST:PORT",
+                        help="a running repro.serve socket frontend")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="seconds between polls (default 2)")
+    parser.add_argument("--iterations", type=int, default=0, metavar="N",
+                        help="exit after N frames (0: run until ^C)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing in place")
+    args = parser.parse_args(argv)
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"expected HOST:PORT, got {args.address!r}")
+
+    from repro.serve.client import Client, ServeProtocolError
+
+    client = Client.connect(host, int(port))
+    previous: Optional[Dict[str, Any]] = None
+    prev_t = time.monotonic()
+    frames = 0
+    try:
+        while True:
+            try:
+                metrics = client.metrics()
+                health = client.health()
+            except ServeProtocolError as exc:
+                print(f"server went away: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            frame = render_dashboard(metrics, health, previous,
+                                     dt=now - prev_t, address=args.address)
+            if args.no_clear:
+                print(frame + "\n")
+            else:
+                print(_CLEAR + frame, flush=True)
+            previous, prev_t = metrics, now
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

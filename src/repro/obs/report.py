@@ -13,6 +13,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs.metrics import merge_histogram_summaries
 from repro.obs.session import ObsSession
 from repro.obs.tracer import Span
 
@@ -34,6 +35,7 @@ class PhaseStat:
 
     @property
     def name(self) -> str:
+        """The last path segment (the phase's own name)."""
         return self.path.rsplit("/", 1)[-1]
 
 
@@ -54,12 +56,14 @@ class ObsReport:
         return sum(p.total_s for p in self.phases if p.depth == 1)
 
     def phase(self, path: str) -> Optional[PhaseStat]:
+        """The stat row at an exact phase path (``None`` when absent)."""
         for p in self.phases:
             if p.path == path:
                 return p
         return None
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready plain-dict form (inverse of the merge input)."""
         return {
             "flow": self.flow,
             "circuit": self.circuit,
@@ -80,6 +84,7 @@ class ObsReport:
         }
 
     def to_json(self) -> str:
+        """``to_dict`` rendered as indented JSON text."""
         return json.dumps(self.to_dict(), indent=2)
 
     def format_table(self) -> str:
@@ -115,11 +120,17 @@ class ObsReport:
             lines.append("histograms:")
             for name in sorted(self.histograms):
                 h = self.histograms[name]
-                lines.append(
-                    f"  {name:<34}n={h['count']:<8.0f}"
-                    f"mean={h['mean']:<10.3f}"
-                    f"min={h['min']:<10.3f}max={h['max']:<.3f}"
+                row = (
+                    f"  {name:<34}n={h.get('count', 0):<8.0f}"
+                    f"mean={h.get('mean', 0.0):<10.3f}"
+                    f"min={h.get('min', 0.0):<10.3f}"
+                    f"max={h.get('max', 0.0):<.3f}"
                 )
+                if "p50" in h:
+                    row += (f"  p50={h['p50']:<10.3g}"
+                            f"p90={h.get('p90', 0.0):<10.3g}"
+                            f"p99={h.get('p99', 0.0):<.3g}")
+                lines.append(row)
         return "\n".join(lines)
 
 
@@ -190,9 +201,14 @@ def merge_reports(reports: List[ObsReport]) -> Optional[ObsReport]:
     them as a single ``--profile`` table.  Semantics: phase rows merge by
     path (counts and times sum; first appearance fixes the order),
     counters sum, gauges keep the last report's value (they are
-    point-in-time readings), histograms combine count / weighted mean /
-    min / max.  ``wall_s`` is the *sum* of the member walls — total work
-    performed, not elapsed time, which under ``--procs`` is smaller.
+    point-in-time readings), histograms combine bucket-exactly via
+    :func:`repro.obs.metrics.merge_histogram_summaries` (counts and
+    sums add, extremes combine, percentiles recompute from the merged
+    buckets).  Reports whose metric key sets differ merge fine — every
+    name is folded independently, and old-schema histogram summaries
+    without bucket counts still combine count/mean/min/max.  ``wall_s``
+    is the *sum* of the member walls — total work performed, not
+    elapsed time, which under ``--procs`` is smaller.
     """
     reports = [r for r in reports if r is not None]
     if not reports:
@@ -223,12 +239,5 @@ def merge_reports(reports: List[ObsReport]) -> Optional[ObsReport]:
             if got is None:
                 merged.histograms[name] = dict(h)
                 continue
-            count = got["count"] + h["count"]
-            if count:
-                got["mean"] = (
-                    got["mean"] * got["count"] + h["mean"] * h["count"]
-                ) / count
-            got["count"] = count
-            got["min"] = min(got["min"], h["min"])
-            got["max"] = max(got["max"], h["max"])
+            merge_histogram_summaries(got, h)
     return merged

@@ -60,9 +60,11 @@ class ObsSession:
         return self
 
     def disable(self) -> None:
+        """Turn recording off (collected data stays readable)."""
         self.enabled = False
 
     def reset(self) -> None:
+        """Drop all collected spans and metrics."""
         self.tracer.reset()
         self.metrics.reset()
 
@@ -90,6 +92,7 @@ OBS = ObsSession()
 
 
 def get_session() -> ObsSession:
+    """The process-wide :data:`OBS` session."""
     return OBS
 
 

@@ -182,10 +182,12 @@ class Tracer:
 
     @property
     def current(self) -> Optional[Span]:
+        """This thread's innermost open span (``None`` outside spans)."""
         stack = self._stack()
         return stack[-1] if stack else None
 
     def all_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first from each root."""
         for root in self.roots:
             yield from root.walk()
 
@@ -249,6 +251,7 @@ class Tracer:
         }
 
     def write_chrome_trace(self, path: str) -> None:
+        """Write the Chrome/Perfetto trace document to ``path``."""
         with open(path, "w") as f:
             json.dump(self.chrome_trace(), f)
 

@@ -36,6 +36,15 @@ def main(argv=None) -> int:
     parser.add_argument("--observe", action="store_true",
                         help="enable the repro.obs session for the whole "
                              "serve lifetime (per-job profiles collected)")
+    parser.add_argument("--slow-request", type=float, default=5.0,
+                        metavar="S",
+                        help="auto-log a job.slow event for jobs mapping "
+                             "longer than S seconds (default 5.0)")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="stream every telemetry event to FILE as "
+                             "JSONL (the in-memory ring stays bounded)")
+    parser.add_argument("--event-ring", type=int, default=4096, metavar="N",
+                        help="in-memory event-log ring bound (default 4096)")
     args = parser.parse_args(argv)
 
     config = ServerConfig(
@@ -43,6 +52,9 @@ def main(argv=None) -> int:
         cache_entries=args.cache_entries,
         spill_dir=args.spill_dir,
         timeout_s=args.timeout,
+        slow_request_s=args.slow_request,
+        event_ring=args.event_ring,
+        event_stream=args.events,
     )
     server = MappingServer(config)
     if args.observe:

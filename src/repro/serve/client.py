@@ -9,8 +9,14 @@
 * :meth:`Client.connect` — dials a running socket frontend.
 
 All three expose the same calls (:meth:`map_circuit`, :meth:`map_blif`,
-:meth:`submit`, :meth:`ping`, :meth:`stats`, :meth:`shutdown`) and all
-responses are the plain envelope dicts of ``repro.serve.server``.
+:meth:`submit`, :meth:`ping`, :meth:`stats`, :meth:`metrics`,
+:meth:`health`, :meth:`events`, :meth:`shutdown`) and all responses are
+the plain envelope dicts of ``repro.serve.server``.
+
+Every mapping call carries a ``request_id`` — caller-provided or
+generated client-side — echoed in the response envelope and stamped on
+every event the job causes server-side, so a client can always trace
+its own requests (including ones that timed out before answering).
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ import os
 import subprocess
 import sys
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.events import new_request_id
 from repro.serve.jobs import JobSpec
 from repro.serve.protocol import connect_lines, handle_request
 from repro.serve.server import MappingServer, ServerConfig
@@ -63,7 +70,9 @@ class Client:
     @classmethod
     def subprocess(cls, workers: int = 2, cache_entries: int = 128,
                    spill_dir: Optional[str] = None,
-                   timeout_s: Optional[float] = None) -> "Client":
+                   timeout_s: Optional[float] = None,
+                   slow_request_s: Optional[float] = None,
+                   event_stream: Optional[str] = None) -> "Client":
         """Spawn ``python -m repro.serve --stdio`` and connect to it."""
         client = cls()
         argv = [sys.executable, "-m", "repro.serve", "--stdio",
@@ -73,6 +82,10 @@ class Client:
             argv += ["--spill-dir", spill_dir]
         if timeout_s is not None:
             argv += ["--timeout", str(timeout_s)]
+        if slow_request_s is not None:
+            argv += ["--slow-request", str(slow_request_s)]
+        if event_stream:
+            argv += ["--events", event_stream]
         env = dict(os.environ)
         # Make repro importable in the child even when the parent runs
         # from a source tree without installation.
@@ -126,29 +139,39 @@ class Client:
 
     # -- API ----------------------------------------------------------------
 
-    def submit(self, spec: JobSpec,
-               timeout: Optional[float] = None) -> Dict[str, Any]:
-        """Run one job spec; returns its response envelope."""
-        fields: Dict[str, Any] = {"job": spec.to_dict()}
+    def submit(self, spec: JobSpec, timeout: Optional[float] = None,
+               request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Run one job spec; returns its response envelope.
+
+        A ``request_id`` is generated client-side when not given, so
+        the caller can correlate even a timed-out job with the server's
+        event log.
+        """
+        fields: Dict[str, Any] = {
+            "job": spec.to_dict(),
+            "request_id": request_id or new_request_id(),
+        }
         if timeout is not None:
             fields["timeout"] = timeout
         return self.request("map", **fields)
 
     def map_circuit(self, name: str, flow: str = "lily", mode: str = "area",
                     timeout: Optional[float] = None,
+                    request_id: Optional[str] = None,
                     **options: Any) -> Dict[str, Any]:
         """Map a named suite circuit (``options``: JobSpec fields)."""
         spec = JobSpec.from_dict(
             {"circuit": name, "flow": flow, "mode": mode, **options})
-        return self.submit(spec, timeout=timeout)
+        return self.submit(spec, timeout=timeout, request_id=request_id)
 
     def map_blif(self, blif: str, flow: str = "lily", mode: str = "area",
                  timeout: Optional[float] = None,
+                 request_id: Optional[str] = None,
                  **options: Any) -> Dict[str, Any]:
         """Map raw BLIF text (``options``: JobSpec fields)."""
         spec = JobSpec.from_dict(
             {"blif": blif, "flow": flow, "mode": mode, **options})
-        return self.submit(spec, timeout=timeout)
+        return self.submit(spec, timeout=timeout, request_id=request_id)
 
     def ping(self) -> bool:
         """True when the service answers."""
@@ -157,6 +180,32 @@ class Client:
     def stats(self) -> Dict[str, Any]:
         """The server's stats snapshot (see ``MappingServer.stats``)."""
         return self.request("stats").get("stats", {})
+
+    def metrics(self, prometheus: bool = False) -> Union[Dict[str, Any], str]:
+        """The live metrics snapshot — a dict, or Prometheus text with
+        ``prometheus=True`` (see ``MappingServer.metrics_snapshot``)."""
+        if prometheus:
+            return self.request(
+                "metrics", format="prometheus").get("text", "")
+        return self.request("metrics").get("metrics", {})
+
+    def health(self) -> Dict[str, Any]:
+        """The server's health summary (status, uptime, queue depth)."""
+        return self.request("health").get("health", {})
+
+    def events(self, request_id: Optional[str] = None,
+               kind: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Server event-log records, optionally filtered by trace id /
+        kind / newest-N (see ``repro.obs.events.EventLog.events``)."""
+        fields: Dict[str, Any] = {}
+        if request_id is not None:
+            fields["request_id"] = request_id
+        if kind is not None:
+            fields["kind"] = kind
+        if limit is not None:
+            fields["limit"] = limit
+        return self.request("events", **fields).get("events", [])
 
     def shutdown(self) -> None:
         """Stop the service (drains in-process pools, ends subprocesses)."""

@@ -3,18 +3,31 @@
 One request per line, one response per line, UTF-8 JSON.  Requests::
 
     {"op": "map",  "id": 1, "job": {...JobSpec fields...},
-     "timeout": 30.0}                      # timeout optional
+     "timeout": 30.0,                      # timeout optional
+     "request_id": "req-9f31c2d44ab0"}     # trace id, optional
     {"op": "stats", "id": 2}
     {"op": "ping",  "id": 3}
-    {"op": "shutdown", "id": 4}
+    {"op": "metrics", "id": 4}             # +"format": "prometheus"
+    {"op": "health", "id": 5}
+    {"op": "events", "id": 6,              # filters all optional
+     "request_id": "req-…", "kind": "job.done", "limit": 100}
+    {"op": "shutdown", "id": 7}
 
 Responses echo the request ``id`` and carry either the job envelope
-(``ok``/``status``/``cache_hit``/``degraded``/``result``/
-``result_sha256``; see ``repro.serve.server``) or ``{"ok": false,
-"error": ...}``.  Malformed lines answer an error response instead of
-killing the connection; an unreadable *stream* ends that connection
-only.  ``shutdown`` answers, then stops the serving loop (and, over a
-socket, the whole server).
+(``ok``/``status``/``request_id``/``cache_hit``/``degraded``/
+``result``/``result_sha256``; see ``repro.serve.server``) or
+``{"ok": false, "error": ...}``.  ``map`` requests may carry a caller
+``request_id`` (one is generated otherwise); the id is echoed in the
+envelope and stamped on every event and span the job causes, so a
+follow-up ``events`` request — or one grep over the server's event
+stream — reconstructs that request's lifecycle.  ``metrics`` answers
+the live metrics snapshot as JSON, or as Prometheus exposition text
+(``{"ok": true, "text": …}``) with ``"format": "prometheus"``;
+``health`` is the cheap liveness summary.  Both work on a *running*
+server — no restart, no ``--observe``.  Malformed lines answer an
+error response instead of killing the connection; an unreadable
+*stream* ends that connection only.  ``shutdown`` answers, then stops
+the serving loop (and, over a socket, the whole server).
 
 The socket frontend accepts any number of sequential or concurrent
 connections; all of them share the one server (one warm state, one
@@ -36,6 +49,17 @@ __all__ = ["handle_request", "serve_stream", "serve_socket",
            "connect_lines"]
 
 
+def _request_id_of(request: Dict[str, Any]) -> Optional[str]:
+    """The request's trace id, validated (``None`` when absent)."""
+    request_id = request.get("request_id")
+    if request_id is None:
+        return None
+    if not isinstance(request_id, str) or not request_id:
+        raise JobError(
+            f"request_id must be a non-empty string, got {request_id!r}")
+    return request_id
+
+
 def handle_request(server: MappingServer,
                    request: Dict[str, Any]) -> Dict[str, Any]:
     """Dispatch one decoded request dict; always returns a response dict.
@@ -52,6 +76,25 @@ def handle_request(server: MappingServer,
             response: Dict[str, Any] = {"ok": True, "status": "pong"}
         elif op == "stats":
             response = {"ok": True, "stats": server.stats()}
+        elif op == "metrics":
+            snapshot = server.metrics_snapshot()
+            if request.get("format") == "prometheus":
+                from repro.obs.expo import format_prometheus
+
+                response = {"ok": True,
+                            "text": format_prometheus(snapshot)}
+            else:
+                response = {"ok": True, "metrics": snapshot}
+        elif op == "health":
+            health = server.health_snapshot()
+            response = {"ok": True, "status": health["status"],
+                        "health": health}
+        elif op == "events":
+            limit = request.get("limit")
+            response = {"ok": True, "events": server.events.events(
+                request_id=_request_id_of(request),
+                kind=request.get("kind"),
+                limit=int(limit) if limit is not None else None)}
         elif op == "shutdown":
             response = {"ok": True, "status": "shutting down",
                         "shutdown": True}
@@ -59,7 +102,8 @@ def handle_request(server: MappingServer,
             spec = JobSpec.from_dict(request.get("job") or {})
             timeout = request.get("timeout")
             response = server.run(
-                spec, timeout=float(timeout) if timeout is not None else None)
+                spec, timeout=float(timeout) if timeout is not None else None,
+                request_id=_request_id_of(request))
         else:
             response = {"ok": False, "error": f"unknown op: {op!r}"}
     except JobError as exc:

@@ -29,6 +29,19 @@ Identical concurrent submissions are *single-flighted*: followers share
 the leader's future and count as cache hits (``serve.inflight_joins``),
 which is what lets N parallel identical jobs finish with one mapping and
 N-1 hits.
+
+Telemetry is first-class and always on (independent of the global
+``repro.obs`` session, which stays opt-in for *profiling*): the server
+owns a :class:`~repro.obs.metrics.Metrics` registry recording the
+``serve.latency_s`` / ``serve.queue_wait_s`` / ``serve.queue_depth``
+percentile histograms, and an :class:`~repro.obs.events.EventLog` where
+every job's lifecycle — received, queued, joined, started, degraded,
+timed out, cancelled, done, slow — is recorded under one generated (or
+caller-provided) ``request_id``.  ``metrics_snapshot()`` /
+``health_snapshot()`` back the protocol's ``metrics`` and ``health``
+verbs, so a running server is scrapeable without restart.  Jobs whose
+runtime exceeds ``ServerConfig.slow_request_s`` auto-log a ``job.slow``
+event.
 """
 
 from __future__ import annotations
@@ -40,7 +53,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.obs import OBS, ObsReport, merge_reports
+from repro.obs import OBS, Metrics, ObsReport, merge_reports
+from repro.obs.events import EventLog, new_request_id
 from repro.perf import PerfOptions
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import (
@@ -74,6 +88,11 @@ class ServerConfig:
             (``None``: wait forever).
         perf: flow fast-path switches; jobs that fail under them retry
             with ``PerfOptions.naive()``.
+        slow_request_s: jobs whose mapping runtime exceeds this log a
+            ``job.slow`` event (the slow-request audit trail).
+        event_ring: in-memory event-log bound (older events drop).
+        event_stream: optional JSONL path every event is appended to —
+            the durable tier of the event log.
     """
 
     workers: int = 2
@@ -81,15 +100,23 @@ class ServerConfig:
     spill_dir: Optional[str] = None
     timeout_s: Optional[float] = None
     perf: Optional[PerfOptions] = None
+    slow_request_s: float = 5.0
+    event_ring: int = 4096
+    event_stream: Optional[str] = None
 
 
 class JobHandle:
-    """A submitted job: its key, future and cooperative cancel token."""
+    """A submitted job: its key, request id, future and cancel token."""
 
-    def __init__(self, job_id: int, key: str, spec: JobSpec) -> None:
+    def __init__(self, job_id: int, key: str, spec: JobSpec,
+                 request_id: Optional[str] = None) -> None:
         self.job_id = job_id
         self.key = key
         self.spec = spec
+        #: The trace id carried through every event/span of this job.
+        self.request_id = request_id or new_request_id()
+        #: ``perf_counter`` at enqueue; queue wait = start − this.
+        self.enqueued_at = time.perf_counter()
         self.future: "Future[Dict[str, Any]]" = Future()
         self._cancel = threading.Event()
 
@@ -127,21 +154,31 @@ class MappingServer:
         self._lock = threading.Lock()
         self._inflight: Dict[str, JobHandle] = {}
         self._next_id = 0
-        self._queue_depth = 0
         self._closed = False
+        self._started = time.monotonic()
         self.stats_counters: Dict[str, int] = {
             "jobs": 0, "completed": 0, "errors": 0, "timeouts": 0,
             "cancelled": 0, "degraded": 0, "inflight_joins": 0,
+            "slow": 0,
         }
         self.obs_reports: List[ObsReport] = []
+        #: Always-on serve telemetry (latency/queue histograms); the
+        #: global ``repro.obs`` session is mirrored only when enabled.
+        self.metrics = Metrics()
+        #: Request-scoped structured event log (ring + optional stream).
+        self.events = EventLog(config.event_ring,
+                               stream=config.event_stream)
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> JobHandle:
+    def submit(self, spec: JobSpec,
+               request_id: Optional[str] = None) -> JobHandle:
         """Enqueue one job; returns immediately with its handle.
 
         Cache hits resolve the handle synchronously; a duplicate of a
         job already in flight joins that job instead of re-mapping.
+        ``request_id`` (generated when absent) tags every event and
+        span this job causes and is echoed in the response envelope.
         """
         if self._closed:
             raise RuntimeError("server is shut down")
@@ -157,47 +194,59 @@ class MappingServer:
         leader: Optional[JobHandle] = None
         with self._lock:
             self._next_id += 1
-            handle = JobHandle(self._next_id, key, spec)
+            handle = JobHandle(self._next_id, key, spec,
+                               request_id=request_id)
             if cached is None:
                 leader = self._inflight.get(key)
                 if leader is None:
                     self._inflight[key] = handle
-                    self._queue_depth += 1
-                    if OBS.enabled:
-                        OBS.metrics.gauge("serve.queue_depth").set(
-                            self._queue_depth)
+                    self._set_queue_depth_locked()
                 else:
                     self.stats_counters["inflight_joins"] += 1
                     self.cache.stats["hits"] += 1
                     if OBS.enabled:
                         OBS.metrics.counter("serve.inflight_joins").inc()
                         OBS.metrics.counter("serve.cache.hits").inc()
+        self.events.emit(
+            "job.received", handle.request_id, key=key, flow=spec.flow,
+            mode=spec.mode, circuit=spec.circuit or "<blif>")
         # Resolution happens outside the lock: done-callbacks can fire
         # synchronously and _resolve_follower/_finish re-take it.
         if cached is not None:
             self._count("completed")
-            handle.future.set_result(self._envelope(
-                key, cached, cache_hit=True, runtime_s=0.0))
+            self.events.emit("job.cache_hit", handle.request_id, key=key)
+            envelope = self._envelope(
+                key, cached, cache_hit=True, runtime_s=0.0,
+                request_id=handle.request_id)
+            self.events.emit("job.done", handle.request_id, key=key,
+                             status="ok", cache_hit=True, runtime_s=0.0)
+            handle.future.set_result(envelope)
         elif leader is not None:
+            self.events.emit("job.join", handle.request_id, key=key,
+                             leader_request_id=leader.request_id)
             leader.future.add_done_callback(
                 lambda f, h=handle: self._resolve_follower(f, h))
         else:
+            self.events.emit("job.queued", handle.request_id, key=key)
             self._pool.submit(self._work, handle, state)
         return handle
 
-    def run(self, spec: JobSpec,
-            timeout: Optional[float] = None) -> Dict[str, Any]:
+    def run(self, spec: JobSpec, timeout: Optional[float] = None,
+            request_id: Optional[str] = None) -> Dict[str, Any]:
         """Submit and wait; the blocking convenience wrapper.
 
         ``timeout`` (default: the server's ``timeout_s``) bounds the
         wait; on expiry the job is cancelled and the envelope reports
         ``status: "timeout"``.
         """
+        request_id = request_id or new_request_id()
         try:
-            handle = self.submit(spec)
+            handle = self.submit(spec, request_id=request_id)
         except (JobError, ValueError) as exc:
             self._count("errors")
-            return {"ok": False, "status": "error", "error": str(exc)}
+            self.events.emit("job.rejected", request_id, error=str(exc))
+            return {"ok": False, "status": "error", "error": str(exc),
+                    "request_id": request_id}
         if timeout is None:
             timeout = self.config.timeout_s
         try:
@@ -207,8 +256,11 @@ class MappingServer:
             self._count("timeouts")
             if OBS.enabled:
                 OBS.metrics.counter("serve.timeouts").inc()
+            self.events.emit("job.timeout", handle.request_id,
+                             key=handle.key, timeout_s=timeout)
             return {
                 "ok": False, "status": "timeout", "job_key": handle.key,
+                "request_id": handle.request_id,
                 "error": f"job exceeded {timeout:g}s "
                          f"(cancelled; it will not be retried)",
             }
@@ -217,21 +269,40 @@ class MappingServer:
 
     def _work(self, handle: JobHandle, state: WarmState) -> None:
         start = time.perf_counter()
+        queue_wait = start - handle.enqueued_at
+        self._observe("serve.queue_wait_s", queue_wait)
+        self.events.emit("job.start", handle.request_id, key=handle.key,
+                         queue_wait_s=queue_wait)
         counters_before = (
             OBS.metrics.snapshot_counters() if OBS.enabled else None
         )
         try:
-            payload, degraded, reports = self._execute(handle, state)
+            # With profiling on, every span the job causes hangs under
+            # one root annotated with the request id (worker threads
+            # have an empty span stack, so this opens a fresh root).
+            if OBS.enabled:
+                with OBS.span("serve.job", request_id=handle.request_id,
+                              key=handle.key):
+                    payload, degraded, reports = self._execute(handle, state)
+            else:
+                payload, degraded, reports = self._execute(handle, state)
         except JobCancelled:
+            self.events.emit("job.cancelled", handle.request_id,
+                             key=handle.key)
             self._finish(handle, {
                 "ok": False, "status": "cancelled", "job_key": handle.key,
+                "request_id": handle.request_id,
                 "error": "job cancelled before completion",
             })
             self._count("cancelled")
             return
         except Exception as exc:  # noqa: BLE001 — the envelope carries it
+            self.events.emit("job.error", handle.request_id,
+                             key=handle.key,
+                             error=f"{type(exc).__name__}: {exc}")
             self._finish(handle, {
                 "ok": False, "status": "error", "job_key": handle.key,
+                "request_id": handle.request_id,
                 "error": f"{type(exc).__name__}: {exc}",
             })
             self._count("errors")
@@ -247,11 +318,19 @@ class MappingServer:
             self._count("degraded")
             if OBS.enabled:
                 OBS.metrics.counter("serve.degraded").inc()
-        if OBS.enabled:
-            OBS.metrics.histogram("serve.latency_s").observe(runtime)
+        self._observe("serve.latency_s", runtime)
+        if runtime >= self.config.slow_request_s:
+            self._count("slow")
+            self.events.emit(
+                "job.slow", handle.request_id, key=handle.key,
+                runtime_s=runtime,
+                threshold_s=self.config.slow_request_s)
+        self.events.emit("job.done", handle.request_id, key=handle.key,
+                         status="ok", cache_hit=False, degraded=degraded,
+                         runtime_s=runtime)
         self._finish(handle, self._envelope(
             handle.key, payload, cache_hit=False, runtime_s=runtime,
-            degraded=degraded))
+            degraded=degraded, request_id=handle.request_id))
 
     def _execute(self, handle: JobHandle, state: WarmState):
         """Run one job body; returns ``(payload, degraded, obs_reports)``."""
@@ -268,12 +347,15 @@ class MappingServer:
         try:
             result = run_flow(spec, net, state.library, perf=perf,
                               matcher=state.matcher())
-        except Exception:  # noqa: BLE001 — degrade, don't error
+        except Exception as exc:  # noqa: BLE001 — degrade, don't error
             if handle.cancelled:
                 raise JobCancelled(handle.key)
             # Graceful degradation: the naive paths are the reference
             # implementation; answer slowly rather than not at all.
             degraded = True
+            self.events.emit(
+                "job.degraded", handle.request_id, key=handle.key,
+                error=f"{type(exc).__name__}: {exc}")
             result = run_flow(spec, net, state.library,
                               perf=PerfOptions.naive())
         if result.obs is not None:
@@ -285,11 +367,13 @@ class MappingServer:
     # -- bookkeeping --------------------------------------------------------
 
     def _envelope(self, key: str, payload: Dict[str, Any], cache_hit: bool,
-                  runtime_s: float, degraded: bool = False) -> Dict[str, Any]:
+                  runtime_s: float, degraded: bool = False,
+                  request_id: Optional[str] = None) -> Dict[str, Any]:
         return {
             "ok": True,
             "status": "ok",
             "job_key": key,
+            "request_id": request_id,
             "cache_hit": cache_hit,
             "degraded": degraded,
             "runtime_s": runtime_s,
@@ -301,10 +385,7 @@ class MappingServer:
         with self._lock:
             if self._inflight.get(handle.key) is handle:
                 del self._inflight[handle.key]
-                self._queue_depth -= 1
-                if OBS.enabled:
-                    OBS.metrics.gauge("serve.queue_depth").set(
-                        self._queue_depth)
+                self._set_queue_depth_locked()
             if envelope.get("ok"):
                 self.stats_counters["completed"] += 1
         handle.future.set_result(envelope)
@@ -312,15 +393,37 @@ class MappingServer:
     def _resolve_follower(self, leader_future: "Future[Dict[str, Any]]",
                           handle: JobHandle) -> None:
         envelope = dict(leader_future.result())
+        envelope["request_id"] = handle.request_id
         if envelope.get("ok"):
             envelope["cache_hit"] = True
             with self._lock:
                 self.stats_counters["completed"] += 1
+        self.events.emit(
+            "job.done", handle.request_id, key=handle.key,
+            status=envelope.get("status", "error"),
+            cache_hit=bool(envelope.get("cache_hit")), joined=True)
         handle.future.set_result(envelope)
 
     def _count(self, stat: str) -> None:
         with self._lock:
             self.stats_counters[stat] += 1
+
+    def _observe(self, name: str, value: float) -> None:
+        """Record into the always-on server histogram (and mirror the
+        global session when profiling is enabled)."""
+        self.metrics.histogram(name).observe(value)
+        if OBS.enabled:
+            OBS.metrics.histogram(name).observe(value)
+
+    def _set_queue_depth_locked(self) -> None:
+        """Refresh the queue-depth gauge/histogram from the in-flight
+        table itself (the single source of truth — callers hold the
+        lock, so the gauge can never go stale or negative)."""
+        depth = len(self._inflight)
+        self.metrics.gauge("serve.queue_depth").set(depth)
+        self.metrics.histogram("serve.queue_depth").observe(depth)
+        if OBS.enabled:
+            OBS.metrics.gauge("serve.queue_depth").set(depth)
 
     # -- introspection ------------------------------------------------------
 
@@ -330,7 +433,7 @@ class MappingServer:
 
         with self._lock:
             counters = dict(self.stats_counters)
-            queue_depth = self._queue_depth
+            queue_depth = len(self._inflight)
         states = {
             key: dict(state.stats) for key, state in sorted(_STATES.items())
         }
@@ -342,6 +445,63 @@ class MappingServer:
             "warm_states": states,
         }
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Everything scrapeable, in the ``Metrics.snapshot`` shape.
+
+        Combines the lifecycle counters (``serve.jobs`` …), the cache
+        tier counters (``serve.cache.*``), warm-state cold-start
+        counters (``serve.state.*``), the queue-depth/uptime gauges and
+        the always-on percentile histograms.  This is what the
+        protocol's ``metrics`` verb answers and what
+        :func:`repro.obs.expo.format_prometheus` renders, so a running
+        server can be scraped without restart (and without the global
+        profiling session).
+        """
+        from repro.serve.state import _STATES
+
+        with self._lock:
+            counters = {
+                f"serve.{name}": value
+                for name, value in self.stats_counters.items()
+            }
+            queue_depth = len(self._inflight)
+        for name, value in self.cache.stats.items():
+            counters[f"serve.cache.{name}"] = value
+        for _, state in sorted(_STATES.items()):
+            for name, value in state.stats.items():
+                counters[f"serve.state.{name}"] = (
+                    counters.get(f"serve.state.{name}", 0) + value)
+        snap = self.metrics.snapshot()
+        gauges = dict(snap["gauges"])
+        gauges["serve.queue_depth"] = queue_depth
+        gauges["serve.uptime_s"] = time.monotonic() - self._started
+        gauges["serve.cache.entries"] = len(self.cache)
+        gauges["serve.events_buffered"] = len(self.events)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": snap["histograms"],
+        }
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """A cheap liveness/readiness summary for the ``health`` verb."""
+        with self._lock:
+            counters = dict(self.stats_counters)
+            queue_depth = len(self._inflight)
+        return {
+            "status": "shutting_down" if self._closed else "ok",
+            "uptime_s": time.monotonic() - self._started,
+            "workers": self.config.workers,
+            "queue_depth": queue_depth,
+            "jobs": counters["jobs"],
+            "completed": counters["completed"],
+            "errors": counters["errors"],
+            "timeouts": counters["timeouts"],
+            "degraded": counters["degraded"],
+            "cache_entries": len(self.cache),
+            "events_buffered": len(self.events),
+        }
+
     def merged_obs(self) -> Optional[ObsReport]:
         """All collected per-job profiles folded into one report."""
         with self._lock:
@@ -350,8 +510,13 @@ class MappingServer:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs and (optionally) drain the pool."""
+        already = self._closed
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if not already:
+            self.events.emit("server.shutdown",
+                             jobs=self.stats_counters["jobs"])
+            self.events.close()
 
     def __enter__(self) -> "MappingServer":
         """Context-manager entry (shuts the pool down on exit)."""

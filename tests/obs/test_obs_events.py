@@ -1,0 +1,108 @@
+"""The structured event log: ring bound, filters, JSONL streaming."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import DEFAULT_RING_SIZE, EventLog, new_request_id
+
+
+class TestRequestIds:
+    def test_shape(self):
+        rid = new_request_id()
+        assert rid.startswith("req-")
+        assert len(rid) == len("req-") + 12
+        int(rid[4:], 16)  # hex payload
+
+    def test_unique(self):
+        assert len({new_request_id() for _ in range(200)}) == 200
+
+
+class TestEventLog:
+    def test_emit_stamps_order_and_attrs(self):
+        log = EventLog()
+        log.emit("job.received", request_id="req-a", circuit="C880")
+        log.emit("job.done", request_id="req-a", runtime_s=1.5)
+        first, second = log.events()
+        assert first["kind"] == "job.received"
+        assert first["request_id"] == "req-a"
+        assert first["circuit"] == "C880"
+        assert first["seq"] < second["seq"]
+        assert first["ts"] <= second["ts"]
+
+    def test_request_id_omitted_when_absent(self):
+        log = EventLog()
+        log.emit("server.shutdown")
+        (event,) = log.events()
+        assert "request_id" not in event
+
+    def test_ring_is_bounded(self):
+        log = EventLog(ring_size=5)
+        for i in range(12):
+            log.emit("tick", i=i)
+        events = log.events()
+        assert len(log) == 5
+        assert [e["i"] for e in events] == [7, 8, 9, 10, 11]
+        assert log.dropped == 7
+
+    def test_default_ring_size(self):
+        assert EventLog().ring_size == DEFAULT_RING_SIZE
+
+    def test_filter_by_request_id_and_kind(self):
+        log = EventLog()
+        log.emit("job.start", request_id="req-a")
+        log.emit("job.start", request_id="req-b")
+        log.emit("job.done", request_id="req-a")
+        mine = log.events(request_id="req-a")
+        assert [e["kind"] for e in mine] == ["job.start", "job.done"]
+        starts = log.events(kind="job.start")
+        assert [e["request_id"] for e in starts] == ["req-a", "req-b"]
+        both = log.events(request_id="req-a", kind="job.done")
+        assert len(both) == 1
+
+    def test_limit_keeps_newest(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("tick", i=i)
+        assert [e["i"] for e in log.events(limit=2)] == [4, 5]
+
+    def test_stream_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(stream=str(path))
+        log.emit("a", request_id="req-x", n=1)
+        log.emit("b", n=2)
+        log.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["kind"] for e in lines] == ["a", "b"]
+        assert lines[0]["request_id"] == "req-x"
+
+    def test_stream_outlives_ring_eviction(self, tmp_path):
+        # The file keeps everything even when the ring drops it.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(ring_size=2, stream=str(path))
+        for i in range(10):
+            log.emit("tick", i=i)
+        log.close()
+        assert len(log) == 2
+        assert len(path.read_text().splitlines()) == 10
+
+    def test_torn_stream_does_not_raise(self, tmp_path):
+        # A stream path that cannot be opened must never kill a server.
+        log = EventLog(stream=str(tmp_path / "no" / "dir" / "f.jsonl"))
+        log.emit("still.fine")
+        assert len(log) == 1
+
+    def test_write_jsonl_snapshot(self, tmp_path):
+        log = EventLog()
+        log.emit("one")
+        log.emit("two")
+        out = tmp_path / "snap.jsonl"
+        log.write_jsonl(str(out))
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("x")
+        log.clear()
+        assert len(log) == 0
+        assert log.events() == []

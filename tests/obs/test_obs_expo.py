@@ -1,0 +1,118 @@
+"""Prometheus exposition and the monitor dashboard rendering."""
+
+from __future__ import annotations
+
+from repro.obs.expo import format_prometheus, sanitize_metric_name
+from repro.obs.metrics import Histogram, Metrics, bucket_bounds
+from repro.obs.monitor import render_dashboard
+
+
+def _snapshot(**histogram_values):
+    m = Metrics()
+    m.counter("serve.jobs").inc(4)
+    m.gauge("serve.queue_depth").set(2)
+    for name, values in histogram_values.items():
+        for v in values:
+            m.histogram(name).observe(v)
+    return m.snapshot()
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency_s") == \
+            "repro_serve_latency_s"
+
+    def test_weird_chars_and_digit_prefix(self):
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+        assert sanitize_metric_name("9lives", prefix="") == "_9lives"
+
+    def test_prefix_applied_once(self):
+        assert sanitize_metric_name("x").startswith("repro_")
+        assert not sanitize_metric_name("x").startswith("repro_repro")
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = format_prometheus(_snapshot())
+        assert "# TYPE repro_serve_jobs counter" in text
+        assert "repro_serve_jobs 4" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_series(self):
+        text = format_prometheus(
+            _snapshot(**{"serve.latency_s": [0.01, 0.02, 0.5]}))
+        assert "# TYPE repro_serve_latency_s histogram" in text
+        assert 'repro_serve_latency_s_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_latency_s_count 3" in text
+        assert "repro_serve_latency_s_sum" in text
+        for q in ("0.5", "0.9", "0.99"):
+            assert f'quantile="{q}"' in text
+
+    def test_bucket_lines_are_cumulative(self):
+        h = Histogram()
+        for v in (0.001, 0.001, 1.0):
+            h.observe(v)
+        snap = {"counters": {}, "gauges": {},
+                "histograms": {"lat": h.summary()}}
+        text = format_prometheus(snap)
+        bucket_lines = [l for l in text.splitlines()
+                        if "_bucket{" in l and "+Inf" not in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)  # cumulative, by definition
+        assert counts[-1] == 3
+        # The le labels are real upper bucket bounds.
+        first_le = float(bucket_lines[0].split('le="')[1].split('"')[0])
+        lo, hi = bucket_bounds(0)
+        assert first_le >= hi  # at least the first bucket's upper bound
+
+    def test_old_schema_histogram_tolerated(self):
+        snap = {"counters": {}, "gauges": {}, "histograms": {
+            "lat": {"count": 2, "mean": 1.0, "min": 0.5, "max": 1.5}}}
+        text = format_prometheus(snap)
+        assert "repro_lat_count 2" in text
+        assert "repro_lat_sum 2.0" in text  # mean * count fallback
+        # Only the mandatory +Inf bucket: no finite bounds to render.
+        bucket_lines = [l for l in text.splitlines() if "_bucket{" in l]
+        assert bucket_lines == ['repro_lat_bucket{le="+Inf"} 2']
+
+    def test_empty_snapshot(self):
+        text = format_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}})
+        assert text == "" or text == "\n"
+
+
+class TestMonitorRender:
+    def _metrics(self, jobs=10, hits=3, misses=7):
+        return {
+            "counters": {"serve.jobs": jobs, "serve.completed": jobs,
+                         "serve.errors": 0, "serve.cache.hits": hits,
+                         "serve.cache.misses": misses},
+            "gauges": {"serve.queue_depth": 1, "serve.cache.entries": 5},
+            "histograms": {"serve.latency_s": {
+                "count": 7, "mean": 0.02, "p50": 0.01, "p90": 0.05,
+                "p99": 0.09}},
+        }
+
+    def _health(self):
+        return {"status": "ok", "uptime_s": 12.0, "workers": 2}
+
+    def test_first_frame(self):
+        frame = render_dashboard(self._metrics(), self._health(),
+                                 address="x:1")
+        assert "repro.serve @ x:1 — ok" in frame
+        assert "jobs/s 0.0" in frame  # no previous frame: rates are 0
+        assert "hit rate 30.0%" in frame
+        assert "p50 0.01" in frame
+
+    def test_window_rates_from_delta(self):
+        prev = self._metrics(jobs=10)
+        cur = self._metrics(jobs=30)
+        frame = render_dashboard(cur, self._health(), previous=prev, dt=2.0)
+        assert "jobs/s 10.0" in frame
+
+    def test_empty_histograms_render_placeholder(self):
+        metrics = self._metrics()
+        metrics["histograms"] = {}
+        frame = render_dashboard(metrics, self._health())
+        assert "(no observations yet)" in frame

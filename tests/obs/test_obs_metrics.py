@@ -43,15 +43,23 @@ class TestMetrics:
         assert h.min == 2.0
         assert h.max == 9.0
         assert h.mean == 5.0
-        assert h.summary() == {
-            "count": 3, "sum": 15.0, "min": 2.0, "max": 9.0, "mean": 5.0,
-        }
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 15.0
+        assert s["min"] == 2.0
+        assert s["max"] == 9.0
+        assert s["mean"] == 5.0
+        # Three samples in three distinct buckets, string-keyed.
+        assert sum(s["buckets"].values()) == 3
+        assert all(isinstance(k, str) for k in s["buckets"])
 
     def test_empty_histogram_summary(self):
-        h = Metrics().histogram("empty")
-        assert h.summary() == {
-            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-        }
+        s = Metrics().histogram("empty").summary()
+        assert s["count"] == 0
+        assert s["sum"] == 0.0
+        assert s["min"] == 0.0 and s["max"] == 0.0 and s["mean"] == 0.0
+        assert s["p50"] == 0.0 and s["p99"] == 0.0
+        assert s["buckets"] == {}
 
     def test_snapshot_counters(self):
         m = Metrics()

@@ -1,0 +1,168 @@
+"""The log-bucket histogram: boundaries, percentiles, merging.
+
+The quantile guarantee under test is the one the module documents:
+``percentile(p)`` answers within ``HIST_REL_ERROR`` (about 9.1% for the
+2**0.25 growth factor) of the true sample quantile, clamped to the
+exact observed min/max.  The oracle is a sorted list of the same draws.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    HIST_BUCKETS,
+    HIST_GROWTH,
+    HIST_MIN,
+    HIST_REL_ERROR,
+    Histogram,
+    bucket_bounds,
+    bucket_index,
+    bucket_value,
+    merge_histogram_summaries,
+    percentile_from_buckets,
+)
+
+
+def _oracle(values, p):
+    """Nearest-rank percentile of a concrete sample list."""
+    ordered = sorted(values)
+    rank = max(1, -(-int(p) * len(ordered) // 100))  # ceil(p/100 * n)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TestBuckets:
+    def test_tiny_values_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-3.0) == 0
+        assert bucket_index(HIST_MIN) == 0
+        assert bucket_index(HIST_MIN / 10) == 0
+
+    def test_boundaries_are_half_open(self):
+        # A value exactly on a boundary belongs to the bucket it opens.
+        for i in (1, 5, 40, 100):
+            lo, hi = bucket_bounds(i)
+            assert bucket_index(lo) == i
+            assert bucket_index(lo * 1.0000001) == i
+            assert bucket_index(hi) == i + 1 or i + 1 >= HIST_BUCKETS
+
+    def test_bounds_grow_geometrically(self):
+        lo0, hi0 = bucket_bounds(0)
+        assert lo0 == HIST_MIN
+        assert hi0 == pytest.approx(HIST_MIN * HIST_GROWTH)
+        lo7, _ = bucket_bounds(7)
+        assert lo7 == pytest.approx(HIST_MIN * HIST_GROWTH ** 7)
+
+    def test_bucket_value_is_inside_its_bucket(self):
+        for i in (0, 3, 50, HIST_BUCKETS - 1):
+            lo, hi = bucket_bounds(i)
+            assert lo <= bucket_value(i) <= hi
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(1e300) == HIST_BUCKETS - 1
+
+    def test_index_round_trips_through_value(self):
+        for i in range(0, HIST_BUCKETS, 17):
+            assert bucket_index(bucket_value(i)) == i
+
+
+class TestPercentile:
+    def test_empty_histogram_answers_zero(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+        with pytest.raises(ValueError):
+            percentile_from_buckets({}, 0, -1)
+
+    def test_single_sample_is_exact(self):
+        h = Histogram()
+        h.observe(0.037)
+        for p in (0, 50, 90, 99, 100):
+            assert h.percentile(p) == 0.037  # clamped to min == max
+
+    def test_percentiles_clamped_to_observed_extremes(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.percentile(0) >= 1.0
+        assert h.percentile(100) <= 3.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("p", [50, 90, 99])
+    def test_matches_sorted_list_oracle(self, seed, p):
+        rng = random.Random(seed)
+        # Latency-shaped draws spanning several orders of magnitude.
+        values = [rng.lognormvariate(-4.0, 1.5) for _ in range(2000)]
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        truth = _oracle(values, p)
+        got = h.percentile(p)
+        assert got == pytest.approx(truth, rel=HIST_REL_ERROR * 1.01)
+
+    def test_summary_survives_json_round_trip(self):
+        h = Histogram()
+        for v in (0.01, 0.02, 0.4):
+            h.observe(v)
+        thawed = json.loads(json.dumps(h.summary()))
+        assert thawed == h.summary()
+
+
+class TestMerge:
+    def _hist_summary(self, values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h.summary()
+
+    def test_merge_equals_single_histogram(self):
+        a_vals = [0.01, 0.05, 0.2]
+        b_vals = [0.002, 0.8, 1.5, 0.03]
+        merged = merge_histogram_summaries(
+            self._hist_summary(a_vals), self._hist_summary(b_vals))
+        whole = self._hist_summary(a_vals + b_vals)
+        assert merged["count"] == whole["count"]
+        assert merged["sum"] == pytest.approx(whole["sum"])
+        assert merged["min"] == whole["min"]
+        assert merged["max"] == whole["max"]
+        assert merged["buckets"] == whole["buckets"]
+        for q in ("p50", "p90", "p99"):
+            assert merged[q] == pytest.approx(whole[q])
+
+    def test_merge_is_associative(self):
+        rng = random.Random(42)
+        parts = [[rng.lognormvariate(-3, 1) for _ in range(50)]
+                 for _ in range(3)]
+        a, b, c = (self._hist_summary(p) for p in parts)
+        left = merge_histogram_summaries(
+            merge_histogram_summaries(dict(a), dict(b)), dict(c))
+        b2, c2 = (self._hist_summary(p) for p in parts[1:])
+        right = merge_histogram_summaries(
+            dict(a), merge_histogram_summaries(b2, c2))
+        assert left["count"] == right["count"]
+        assert left["buckets"] == right["buckets"]
+        assert left["p99"] == pytest.approx(right["p99"])
+
+    def test_merge_tolerates_old_schema(self):
+        # Pre-PR6 worker summaries carry only count/mean/min/max.
+        old = {"count": 2, "mean": 1.0, "min": 0.5, "max": 1.5}
+        new = self._hist_summary([4.0, 8.0])
+        merged = merge_histogram_summaries(dict(new), old)
+        assert merged["count"] == 4
+        assert merged["min"] == 0.5
+        assert merged["max"] == 8.0
+        assert merged["mean"] == pytest.approx((1.0 * 2 + 12.0) / 4)
+
+    def test_merge_tolerates_empty_side(self):
+        empty = Histogram().summary()
+        full = self._hist_summary([0.1, 0.2])
+        merged = merge_histogram_summaries(dict(empty), full)
+        assert merged["count"] == 2
+        assert merged["min"] == 0.1  # empty side's 0.0 min is ignored

@@ -60,8 +60,10 @@ class TestBasics:
         assert envelope == {
             "ok": False, "status": "error",
             "error": envelope["error"],
+            "request_id": envelope["request_id"],
         }
         assert "unknown flow" in envelope["error"]
+        assert envelope["request_id"].startswith("req-")
 
     def test_bad_blif_answers_contextual_error(self):
         bad = (".model m\n.inputs a b\n.outputs f\n"

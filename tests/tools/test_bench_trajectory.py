@@ -1,0 +1,83 @@
+"""The perf-trajectory differ: ratios, verdicts, CLI behaviour."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory", REPO_ROOT / "tools" / "bench_trajectory.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc(pr, **timings):
+    return {"pr": pr, "circuit": "C880", "python": "3.11",
+            "timings_s": timings}
+
+
+class TestDiff:
+    def test_verdicts(self, tool):
+        rows = tool.diff_timings(
+            _doc(4, same=1.0, fast=1.0, slow=1.0, gone=1.0),
+            _doc(6, same=1.05, fast=0.5, slow=2.0, fresh=0.1),
+            threshold=1.2)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["same"]["verdict"] == "ok"
+        assert by_name["fast"]["verdict"] == "faster"
+        assert by_name["slow"]["verdict"] == "REGRESSED"
+        assert by_name["gone"]["verdict"] == "removed"
+        assert by_name["fresh"]["verdict"] == "added"
+        assert by_name["slow"]["ratio"] == pytest.approx(2.0)
+
+    def test_rows_sorted_by_name(self, tool):
+        rows = tool.diff_timings(_doc(1, b=1.0, a=1.0), _doc(2, a=1.0, b=1.0))
+        assert [r["name"] for r in rows] == ["a", "b"]
+
+    def test_format_includes_serve_section(self, tool):
+        old = _doc(4, x=1.0)
+        new = _doc(6, x=1.0)
+        new["serve"] = {"latency_s_p50": 0.5, "latency_s_p90": 0.6,
+                        "latency_s_p99": 0.7, "latency_s_count": 6}
+        rows = tool.diff_timings(old, new)
+        text = tool.format_trajectory(old, new, rows, "a.json", "b.json")
+        assert "p50 0.5000" in text
+        assert "6 mapped" in text
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_explicit_paths_report(self, tool, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _doc(4, x=1.0))
+        b = self._write(tmp_path, "b.json", _doc(6, x=0.9))
+        assert tool.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "x0.90" in out
+
+    def test_fail_on_regress_gates(self, tool, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _doc(4, x=1.0))
+        b = self._write(tmp_path, "b.json", _doc(6, x=5.0))
+        assert tool.main([a, b]) == 0                    # report only
+        assert tool.main([a, b, "--fail-on-regress"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_committed_artifacts_compare(self, tool, monkeypatch, capsys):
+        # The repo's own BENCH_PR*.json must stay diffable.
+        monkeypatch.chdir(REPO_ROOT)
+        assert tool.main([]) == 0
+        assert "verdict" in capsys.readouterr().out

@@ -21,6 +21,8 @@ TOOLS_DIR = REPO_ROOT / "tools"
 #: and the public flow API (keep in sync with the CI docs job).
 DOCSTRING_SCOPE = [
     "src/repro/verify",
+    "src/repro/serve",
+    "src/repro/obs",
     "src/repro/flow/pipeline.py",
     "src/repro/flow/tables.py",
     "src/repro/flow/__main__.py",
@@ -59,6 +61,8 @@ class TestRepositoryPasses:
         assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
         assert (REPO_ROOT / "docs" / "VERIFYING.md").is_file()
         assert (REPO_ROOT / "docs" / "FORMATS.md").is_file()
+        assert (REPO_ROOT / "docs" / "SERVING.md").is_file()
+        assert (REPO_ROOT / "docs" / "OBSERVING.md").is_file()
 
     def test_readme_and_docs_links(self, check_links, capsys):
         files = [str(REPO_ROOT / f) for f in DOC_FILES]

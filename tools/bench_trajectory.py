@@ -1,0 +1,147 @@
+"""Diff two committed perf artifacts: the repo's trajectory at a glance.
+
+``benchmarks/perf_snapshot.py`` writes one ``BENCH_PR<n>.json`` per PR
+with the same schema and timing names, so any two are directly
+comparable.  This tool renders the comparison as a table of per-row
+ratios — which components got faster, which regressed, which rows are
+new — plus the serve latency-percentile section when both artifacts
+carry one.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_trajectory.py \
+        [BENCH_PR4.json BENCH_PR6.json] [--threshold 1.2] \
+        [--fail-on-regress]
+
+With no paths the two newest ``BENCH_PR*.json`` by PR number are
+compared (oldest of the pair as the baseline).  ``--fail-on-regress``
+turns the report into a gate: exit 1 when any shared row is slower
+than ``threshold`` times the baseline.  Absolute times come from
+different machines on different days — the ratios are trend data, not
+a regression proof; ``benchmarks/check_perf_regression.py`` is the
+same-host gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import re
+import sys
+from typing import Any, Dict, List, Tuple
+
+
+def newest_artifacts(count: int = 2) -> List[str]:
+    """The ``count`` newest ``BENCH_PR<n>.json``, oldest first."""
+    found: List[Tuple[int, str]] = []
+    for path in glob.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", path)
+        if m:
+            found.append((int(m.group(1)), path))
+    if len(found) < count:
+        raise SystemExit(
+            f"need {count} BENCH_PR*.json artifacts in the cwd, "
+            f"found {len(found)}")
+    found.sort()
+    return [path for _, path in found[-count:]]
+
+
+def diff_timings(old: Dict[str, Any], new: Dict[str, Any],
+                 threshold: float = 1.2) -> List[Dict[str, Any]]:
+    """Per-row comparison of two artifact docs (pure; sorted by name).
+
+    Each row dict carries ``name``, ``old_s``/``new_s`` (``None`` when
+    the row exists on one side only), ``ratio`` (new/old) and a
+    ``verdict``: ``faster`` / ``ok`` / ``REGRESSED`` (ratio beyond
+    ``threshold``) / ``added`` / ``removed``.
+    """
+    old_rows = old.get("timings_s", {})
+    new_rows = new.get("timings_s", {})
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(old_rows) | set(new_rows)):
+        before = old_rows.get(name)
+        after = new_rows.get(name)
+        if before is None:
+            rows.append({"name": name, "old_s": None, "new_s": after,
+                         "ratio": None, "verdict": "added"})
+        elif after is None:
+            rows.append({"name": name, "old_s": before, "new_s": None,
+                         "ratio": None, "verdict": "removed"})
+        else:
+            ratio = after / before if before else float("inf")
+            if ratio > threshold:
+                verdict = "REGRESSED"
+            elif ratio < 1.0 / threshold:
+                verdict = "faster"
+            else:
+                verdict = "ok"
+            rows.append({"name": name, "old_s": before, "new_s": after,
+                         "ratio": ratio, "verdict": verdict})
+    return rows
+
+
+def format_trajectory(old: Dict[str, Any], new: Dict[str, Any],
+                      rows: List[Dict[str, Any]],
+                      old_path: str = "old", new_path: str = "new") -> str:
+    """The human-readable trajectory report for pre-diffed ``rows``."""
+    lines = [
+        f"{old_path} (pr {old.get('pr', '?')}, "
+        f"circuit {old.get('circuit', '?')}, "
+        f"python {old.get('python', '?')}) -> "
+        f"{new_path} (pr {new.get('pr', '?')}, "
+        f"python {new.get('python', '?')})",
+        f"  {'component':<24}{'old':>10}{'new':>10}{'ratio':>8}  verdict",
+    ]
+    for row in rows:
+        old_s = "-" if row["old_s"] is None else f"{row['old_s']:.4f}s"
+        new_s = "-" if row["new_s"] is None else f"{row['new_s']:.4f}s"
+        ratio = "-" if row["ratio"] is None else f"x{row['ratio']:.2f}"
+        lines.append(f"  {row['name']:<24}{old_s:>10}{new_s:>10}"
+                     f"{ratio:>8}  {row['verdict']}")
+    for doc, path in ((old, old_path), (new, new_path)):
+        serve = doc.get("serve")
+        if serve and "latency_s_p50" in serve:
+            lines.append(
+                f"  serve latency_s [{path}]  "
+                f"p50 {serve['latency_s_p50']:.4f}  "
+                f"p90 {serve['latency_s_p90']:.4f}  "
+                f"p99 {serve['latency_s_p99']:.4f}  "
+                f"({serve.get('latency_s_count', '?')} mapped)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="bench_trajectory")
+    parser.add_argument("artifacts", nargs="*", metavar="BENCH.json",
+                        help="baseline and fresh artifact (default: the "
+                             "two newest BENCH_PR*.json by PR number)")
+    parser.add_argument("--threshold", type=float, default=1.2,
+                        help="ratio beyond which a row reads REGRESSED "
+                             "(default 1.2)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any shared row regressed")
+    args = parser.parse_args(argv)
+    if len(args.artifacts) == 2:
+        old_path, new_path = args.artifacts
+    elif not args.artifacts:
+        old_path, new_path = newest_artifacts(2)
+    else:
+        parser.error("expected exactly two artifacts (or none)")
+    with open(old_path) as f:
+        old = json.load(f)
+    with open(new_path) as f:
+        new = json.load(f)
+    rows = diff_timings(old, new, threshold=args.threshold)
+    print(format_trajectory(old, new, rows, old_path, new_path))
+    regressed = [r["name"] for r in rows if r["verdict"] == "REGRESSED"]
+    if regressed and args.fail_on_regress:
+        print(f"FAIL: regressed beyond x{args.threshold}: "
+              f"{', '.join(regressed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

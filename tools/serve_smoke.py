@@ -2,9 +2,14 @@
 
 Spawns ``python -m repro.serve --stdio`` as a subprocess, submits the
 same job twice, and asserts that the second answer is a bit-identical
-cache hit.  Exercises the whole serve stack end to end: spec
-validation, the JSON-lines transport, warm state, the result cache and
-graceful shutdown.
+cache hit.  Then scrapes the live telemetry over the same connection:
+the ``metrics`` verb must answer a non-empty ``serve.latency_s``
+histogram (p50/p99 > 0) with cache counters matching ``stats``, the
+Prometheus rendering must carry the bucket series, ``health`` must be
+ok, and the first job's ``request_id`` must appear on every event of
+its lifecycle.  Exercises the whole serve stack end to end: spec
+validation, the JSON-lines transport, warm state, the result cache,
+request tracing, live exposition and graceful shutdown.
 
 Run from the repo root::
 
@@ -25,16 +30,20 @@ def main(argv) -> int:
     from repro.serve import Client
 
     circuit = argv[1] if len(argv) > 1 else "misex1"
+    trace_id = "req-smoke0000001"
     client = Client.subprocess(workers=1)
     try:
         if not client.ping():
             return fail("server did not answer ping")
         first = client.map_circuit(circuit, flow="lily", mode="area",
-                                   timeout=600)
+                                   timeout=600, request_id=trace_id)
         if not first.get("ok"):
             return fail(f"first job errored: {first.get('error')}")
         if first.get("cache_hit"):
             return fail("first job must be a cache miss")
+        if first.get("request_id") != trace_id:
+            return fail(f"envelope lost the request id: "
+                        f"{first.get('request_id')!r}")
         second = client.map_circuit(circuit, flow="lily", mode="area",
                                     timeout=600)
         if not second.get("ok"):
@@ -47,11 +56,37 @@ def main(argv) -> int:
         hits = stats.get("cache", {}).get("hits")
         if hits != 1:
             return fail(f"expected exactly 1 cache hit, stats say {hits}")
+
+        # Live telemetry over the same connection: no restart, no flags.
+        metrics = client.metrics()
+        latency = metrics.get("histograms", {}).get("serve.latency_s", {})
+        if not latency.get("count"):
+            return fail("serve.latency_s histogram is empty after a job")
+        if not (latency.get("p50", 0) > 0 and latency.get("p99", 0) > 0):
+            return fail(f"latency percentiles not positive: {latency}")
+        counted = metrics.get("counters", {}).get("serve.cache.hits")
+        if counted != hits:
+            return fail(f"metrics cache hits {counted} != stats {hits}")
+        health = client.health()
+        if health.get("status") != "ok":
+            return fail(f"health is not ok: {health}")
+        text = client.metrics(prometheus=True)
+        if "repro_serve_latency_s_bucket" not in text:
+            return fail("prometheus text lacks the latency bucket series")
+        events = client.events(request_id=trace_id)
+        kinds = [e.get("kind") for e in events]
+        for kind in ("job.received", "job.queued", "job.start", "job.done"):
+            if kind not in kinds:
+                return fail(f"trace {trace_id} lacks {kind}: {kinds}")
+        if any(e.get("request_id") != trace_id for e in events):
+            return fail("an event in the trace carries a foreign id")
     finally:
         client.shutdown()
     print(f"serve smoke ok: {circuit} mapped once, answered twice "
           f"(gates={first['result']['num_gates']}, "
-          f"sha={first['result_sha256'][:12]})")
+          f"sha={first['result_sha256'][:12]}, "
+          f"latency p50={latency['p50']:.4f}s, "
+          f"{len(events)} events for {trace_id})")
     return 0
 
 
