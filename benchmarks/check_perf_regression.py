@@ -26,11 +26,17 @@ import sys
 
 from perf_snapshot import snapshot
 
-#: Components the regression gate watches: the mapping hot path (PR 2)
-#: plus the incremental layout/timing engines (PR 4).  Only rows present
-#: in the chosen baseline are compared, so older baselines keep working.
+#: Components the regression gate watches: the mapping hot path (PR 2),
+#: the incremental layout/timing engines (PR 4), and the struct-of-arrays
+#: scaling rows (PR 7).  Only rows present in the chosen baseline are
+#: compared, so older baselines keep working.
 WATCHED = ("lily_map", "mis_map", "anneal", "detailed_improve",
-           "sta_moves")
+           "sta_moves", "scale.hpwl", "scale.anneal_cost",
+           "scale.sta_full")
+
+#: Gate counts re-run for the ``scale.*`` rows when the baseline has
+#: them (the canonical rows come from the largest size).
+SCALE_GATES = [1000, 5000, 20000]
 
 
 def newest_baseline() -> str:
@@ -62,12 +68,19 @@ def main(argv=None) -> int:
     base_timings = baseline["timings_s"]
 
     fresh = snapshot(baseline["circuit"], args.repeats)
+    if any(name.startswith("scale.") for name in base_timings):
+        from scaling import scaling_rows
+
+        fresh.update(scaling_rows(SCALE_GATES, repeats=args.repeats)[0])
     failed = False
     print(f"baseline {baseline_path} (pr {baseline['pr']}, "
           f"circuit {baseline['circuit']})")
     for name in WATCHED:
         if name not in base_timings:
             print(f"  {name:<20}missing from baseline, skipped")
+            continue
+        if name not in fresh:
+            print(f"  {name:<20}missing from fresh run, skipped")
             continue
         ratio = fresh[name] / base_timings[name]
         verdict = "ok" if ratio <= args.slack else "REGRESSED"

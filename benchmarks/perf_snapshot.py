@@ -28,11 +28,19 @@ the p50/p90/p99 the server's always-on latency and queue-wait
 histograms answer.  ``tools/bench_trajectory.py`` diffs any two of
 these artifacts.
 
+PR 7 adds a ``--scaling`` mode that merges the ``scale.*`` rows from
+``benchmarks/scaling.py`` (struct-of-arrays kernels vs the naive
+engines at 1k/5k/20k gates, every timed pair checked for exact
+equality first) and stamps a ``kernels`` section into every artifact:
+the numpy/scipy versions and default ``PerfOptions`` kernel flags the
+snapshot ran under, so cross-machine comparisons state their backends.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 6] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--pr 7] [--circuit C880] [--repeats 3] [--jobs 1]
         [--suite] [--procs 4] [--serve-requests 6]
+        [--scaling [1000 5000 20000]]
 """
 
 from __future__ import annotations
@@ -306,17 +314,37 @@ def main(argv=None) -> int:
                         help="requests driven through the in-process "
                              "mapping service for the latency-percentile "
                              "rows (0 skips the serve section)")
+    parser.add_argument("--scaling", type=int, nargs="*", default=None,
+                        metavar="GATES",
+                        help="also run benchmarks/scaling.py at these "
+                             "gate counts (default sizes with a bare "
+                             "flag) and merge its scale.* rows into the "
+                             "artifact")
     args = parser.parse_args(argv)
     out = args.out or f"BENCH_PR{args.pr}.json"
 
+    from repro.perf.vec import kernel_backend_info
+
     timings = snapshot(args.circuit, args.repeats, jobs=args.jobs)
+    if args.scaling is not None:
+        from scaling import scaling_rows
+
+        scale_timings, scale_sizes = scaling_rows(
+            args.scaling or [1000, 5000, 20000], repeats=args.repeats
+        )
+        timings.update(scale_timings)
     doc = {
         "pr": args.pr,
         "circuit": args.circuit,
         "repeats": args.repeats,
         "python": platform.python_version(),
+        # Which array backends the struct-of-arrays kernels ran on: any
+        # two artifacts state the configurations they compare.
+        "kernels": kernel_backend_info(),
         "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
     }
+    if args.scaling is not None:
+        doc["scaling_sizes"] = scale_sizes
     if args.serve_requests:
         doc["serve"] = serve_snapshot(args.circuit,
                                       requests=args.serve_requests)

@@ -1,0 +1,313 @@
+"""Scaling workload: the struct-of-arrays kernels vs the naive engines.
+
+Generates seeded :func:`repro.circuits.random_logic.random_network`
+circuits, identity-maps their NAND2/INV subject graphs onto ``nand2`` /
+``inv1`` library cells (tree matching would dominate the wall at 20k
+gates and is benchmarked elsewhere), legalises a placement, and then
+times the placement/STA hot rows at each size with the vectorized
+kernels on and off:
+
+* ``scale.hpwl`` — total netlist HPWL as a :class:`repro.perf.vec.PinTable`
+  coordinate refresh + index-array fold, vs the per-net Python fold
+  (``scale.hpwl_naive``);
+* ``scale.anneal_cost`` — a short simulated-annealing run with the
+  vec-constructed engine vs the plain incremental engine (capped at
+  ``ANNEAL_MAX_CELLS``; expect ~1.0x — move scoring is dict-bound by
+  design, see ``docs/SCALING.md`` — the row guards against regressions
+  at scale);
+* ``scale.quad_assembly`` — sparse COO assembly of the quadratic
+  placement system vs the per-net Python loop;
+* ``scale.sta_full`` — a full forward STA sweep through
+  :class:`repro.timing.array_sta.ArraySTA` (flattening amortised, as
+  :class:`~repro.timing.incremental.IncrementalTiming` holds it) vs
+  :func:`repro.timing.sta.analyze`.
+
+Every timed pair is also *checked*: the bench asserts bitwise equality
+of the two engines' results before recording a row, so a committed
+``BENCH_*.json`` proves speed and exactness together.  Row names carry
+the gate-count suffix (``scale.hpwl_20000``); the largest size also
+writes the canonical unsuffixed rows that
+``benchmarks/check_perf_regression.py`` and ``tools/bench_trajectory.py``
+watch.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/scaling.py [out.json]
+        [--gates 1000 5000 20000] [--repeats 3] [--quick] [--pr 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import platform
+import sys
+from time import perf_counter
+from typing import Callable, Dict, List, Tuple
+
+from repro.area.estimate import mapped_image
+from repro.circuits.random_logic import random_network
+from repro.flow.pipeline import pads_from_order
+from repro.library.standard import big_library
+from repro.map.netlist import MappedNetwork
+from repro.network.decompose import decompose_to_subject
+from repro.place.detailed import detailed_place
+from repro.place.hypergraph import mapped_netlist
+from repro.timing.model import WireCapModel
+
+#: Seed for the scaling circuits (fixed: artifacts must be comparable).
+SCALE_SEED = 1991
+
+#: The annealing row is move-scoring-bound, not fold-bound; cap its size.
+ANNEAL_MAX_CELLS = 5000
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def identity_map(subject, library) -> MappedNetwork:
+    """Map a subject graph 1:1 onto ``nand2``/``inv1`` instances.
+
+    Every NAND2 subject node becomes one ``nand2`` gate and every INV an
+    ``inv1`` — the trivial cover, skipping tree matching entirely.  The
+    result is a legitimate :class:`MappedNetwork` for the layout/timing
+    substrates, which is all the scaling rows exercise.
+    """
+    cells = {c.name: c for c in library.cells}
+    nand2 = cells["nand2"]
+    inv1 = cells["inv1"]
+    mapped = MappedNetwork(subject.name)
+    built = {}
+    for node in subject.topological_order():
+        if node.is_pi:
+            built[node.uid] = mapped.add_primary_input(node.name)
+        elif node.is_po:
+            built[node.uid] = mapped.add_primary_output(
+                node.name, built[node.fanins[0].uid]
+            )
+        elif node.is_constant:
+            built[node.uid] = mapped.add_constant(
+                f"g{node.uid}", node.type.value == "const1"
+            )
+        else:
+            cell = nand2 if len(node.fanins) == 2 else inv1
+            built[node.uid] = mapped.add_gate(
+                f"g{node.uid}", cell, [built[f.uid] for f in node.fanins]
+            )
+    return mapped
+
+
+def build_scaling_circuit(gates: int, seed: int = SCALE_SEED):
+    """A placed identity-mapped circuit of roughly ``gates`` gates.
+
+    Returns ``(mapped, netlist, placement, region)`` with gate and pad
+    positions already written onto the mapped nodes (the STA rows read
+    them live).
+    """
+    num_inputs = max(16, gates // 64)
+    num_outputs = max(8, gates // 128)
+    net = random_network(
+        f"scale{gates}", num_inputs, num_outputs,
+        max(num_outputs, gates // 5), seed=seed,
+    )
+    subject = decompose_to_subject(net)
+    mapped = identity_map(subject, big_library())
+    region = mapped_image(mapped.total_cell_area())
+    order = sorted(
+        n.name for n in mapped.primary_inputs + mapped.primary_outputs
+    )
+    pads = pads_from_order(order, region)
+    netlist = mapped_netlist(mapped, pads)
+    seed_positions = {
+        name: region.center for name in netlist.movables
+    }
+    placement = detailed_place(netlist, seed_positions,
+                               improvement_passes=0)
+    for node in mapped.nodes:
+        p = placement.positions.get(node.name) or pads.get(node.name)
+        if p is not None:
+            node.position = p
+    return mapped, netlist, placement, region
+
+
+def _hpwl_rows(netlist, placement, repeats: int) -> Dict[str, float]:
+    from repro.perf.vec import PinTable
+    from repro.route.wirelength import netlist_hpwl_naive
+
+    nets = netlist.nets
+    positions = placement.positions
+    fixed = netlist.fixed
+    table = PinTable(nets, positions, fixed)
+
+    def vec_fold() -> float:
+        table.refresh(positions)
+        return table.total_hpwl()
+
+    want = netlist_hpwl_naive(nets, positions, fixed)
+    got = vec_fold()
+    if got != want:
+        raise AssertionError(f"HPWL kernels diverge: vec={got!r} "
+                             f"naive={want!r}")
+    return {
+        "scale.hpwl": _best_of(vec_fold, repeats),
+        "scale.hpwl_naive": _best_of(
+            lambda: netlist_hpwl_naive(nets, positions, fixed), repeats),
+    }
+
+
+def _anneal_rows(netlist, placement, repeats: int) -> Dict[str, float]:
+    from repro.place.anneal import simulated_annealing
+
+    def run(vec: bool):
+        work = copy.deepcopy(placement)
+        simulated_annealing(work, netlist, seed=3, moves_per_cell=2,
+                            vec=vec)
+        return work.positions
+
+    got = run(True)
+    want = run(False)
+    if got != want:
+        raise AssertionError("anneal engines diverge under vec kernels")
+    return {
+        "scale.anneal_cost": _best_of(lambda: run(True), repeats),
+        "scale.anneal_cost_naive": _best_of(lambda: run(False), repeats),
+    }
+
+
+def _quad_rows(netlist, region, repeats: int) -> Dict[str, float]:
+    import numpy as np
+
+    from repro.place.quadratic import QuadraticSystem
+
+    vec = QuadraticSystem(netlist, region, vec=True)
+    naive = QuadraticSystem(netlist, region, vec=False)
+    same = (
+        np.array_equal(np.asarray(vec._diag), np.asarray(naive._diag))
+        and np.array_equal(np.asarray(vec._vals), np.asarray(naive._vals))
+        and np.array_equal(np.asarray(vec._rows), np.asarray(naive._rows))
+        and np.array_equal(np.asarray(vec._cols), np.asarray(naive._cols))
+        and np.array_equal(np.asarray(vec._bx), np.asarray(naive._bx))
+        and np.array_equal(np.asarray(vec._by), np.asarray(naive._by))
+    )
+    if not same:
+        raise AssertionError("quadratic assemblies diverge under vec "
+                             "kernels")
+    return {
+        "scale.quad_assembly": _best_of(
+            lambda: QuadraticSystem(netlist, region, vec=True), repeats),
+        "scale.quad_assembly_naive": _best_of(
+            lambda: QuadraticSystem(netlist, region, vec=False), repeats),
+    }
+
+
+def _sta_rows(mapped, repeats: int) -> Dict[str, float]:
+    from repro.timing.array_sta import ArraySTA
+    from repro.timing.sta import analyze
+
+    wire_model = WireCapModel()
+    engine = ArraySTA(mapped, wire_model=wire_model)
+    got = engine.analyze()
+    want = analyze(mapped, wire_model=wire_model)
+    if (got.arrivals != want.arrivals or got.loads != want.loads
+            or got.critical_delay != want.critical_delay
+            or got.critical_po != want.critical_po):
+        raise AssertionError("STA engines diverge under vec kernels")
+    return {
+        "scale.sta_full": _best_of(engine.analyze, repeats),
+        "scale.sta_full_naive": _best_of(
+            lambda: analyze(mapped, wire_model=wire_model), repeats),
+    }
+
+
+def scaling_rows(
+    gate_sizes: List[int], repeats: int = 3
+) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Timing rows (and circuit metadata) for every requested size.
+
+    The largest size also writes the canonical unsuffixed rows the
+    regression gates watch.
+    """
+    timings: Dict[str, float] = {}
+    sizes: Dict[str, object] = {}
+    largest = max(gate_sizes)
+    for gates in gate_sizes:
+        mapped, netlist, placement, region = build_scaling_circuit(gates)
+        rows: Dict[str, float] = {}
+        rows.update(_hpwl_rows(netlist, placement, repeats))
+        rows.update(_quad_rows(netlist, region, repeats))
+        rows.update(_sta_rows(mapped, repeats))
+        if len(netlist.movables) <= ANNEAL_MAX_CELLS:
+            rows.update(_anneal_rows(netlist, placement,
+                                     max(1, repeats - 1)))
+        sizes[str(gates)] = {
+            "gates": len(mapped.gates),
+            "nets": len(netlist.nets),
+            "pins": sum(len(net) for net in netlist.nets),
+        }
+        for name, seconds in rows.items():
+            timings[f"{name}_{gates}"] = seconds
+            if gates == largest:
+                timings[name] = seconds
+    return timings, sizes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="scaling")
+    parser.add_argument("out", nargs="?", default=None,
+                        help="output path (default: print only)")
+    parser.add_argument("--gates", type=int, nargs="+",
+                        default=[1000, 5000, 20000],
+                        help="target gate counts (default 1000 5000 "
+                             "20000)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat, skip the annealing rows "
+                             "(CI smoke)")
+    parser.add_argument("--pr", type=int, default=7,
+                        help="PR number stamped into the artifact")
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else args.repeats
+    global ANNEAL_MAX_CELLS
+    if args.quick:
+        ANNEAL_MAX_CELLS = 0
+
+    from repro.perf.vec import kernel_backend_info
+
+    timings, sizes = scaling_rows(args.gates, repeats=repeats)
+    doc = {
+        "pr": args.pr,
+        "seed": SCALE_SEED,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "kernels": kernel_backend_info(),
+        "scaling_sizes": sizes,
+        "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    for name in sorted(timings):
+        if "_naive" in name:
+            continue
+        base, _, suffix = name.rpartition("_")
+        if suffix.isdigit():
+            naive = f"{base}_naive_{suffix}"
+        else:
+            naive = f"{name}_naive"
+        twin = timings.get(naive)
+        speed = f"  x{twin / timings[name]:.2f}" if twin else ""
+        print(f"  {name:<28}{timings[name]:>10.4f}s{speed}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

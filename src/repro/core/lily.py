@@ -123,7 +123,8 @@ class _LilyMixin:
             pads = assign_pads(subject, region)
         self._netlist = subject_netlist(subject, pads)
         placer = GlobalPlacer(
-            min_cells_per_region=self.options.min_cells_per_region
+            min_cells_per_region=self.options.min_cells_per_region,
+            vec=getattr(self.perf, "vec_place", True),
         )
         with OBS.span("lily.initial_place", gates=len(subject.gates)):
             placement = placer.place(self._netlist, region)
@@ -231,7 +232,8 @@ class _LilyMixin:
             from repro.place.quadratic import QuadraticSystem
 
             self._quad_system = QuadraticSystem(
-                self._netlist, self.placement_region
+                self._netlist, self.placement_region,
+                vec=getattr(self.perf, "vec_place", True),
             )
         initial: Optional[Dict[str, Point]] = None
         if getattr(self.perf, "warm_replace", False):

@@ -72,11 +72,21 @@ def main(argv=None) -> int:
                              "memoization, pattern index, net cache, "
                              "incremental placement/timing); results are "
                              "identical, just slower")
+    parser.add_argument("--naive-kernels", action="store_true",
+                        help="disable only the struct-of-arrays numpy "
+                             "kernels (vectorized HPWL/net boxes, sparse "
+                             "quadratic assembly, array STA); results are "
+                             "identical, just slower (implied by "
+                             "--naive-perf)")
     args = parser.parse_args(argv)
+
+    import dataclasses
 
     from repro.perf import PerfOptions
 
     perf = PerfOptions.naive() if args.naive_perf else PerfOptions()
+    if args.naive_kernels:
+        perf = dataclasses.replace(perf, vec_place=False, vec_sta=False)
     perf = perf.with_jobs(args.jobs).with_procs(args.procs)
 
     circuits = args.circuits or None

@@ -146,10 +146,13 @@ def place_and_route(
             (the TimberWolf-style pass; slower, lower wirelength).
         perf: optimization switches; ``incremental_place`` selects the
             cached-bounding-box engines in the detailed pass and the
-            annealer (bit-identical either way).
+            annealer, ``vec_place``/``vec_sta`` the struct-of-arrays
+            kernels beneath them (bit-identical either way).
     """
     wire_model = wire_model or WireCapModel()
     incremental = perf.incremental_place if perf is not None else True
+    vec_place = getattr(perf, "vec_place", True) if perf is not None else True
+    vec_sta = getattr(perf, "vec_sta", True) if perf is not None else True
     region = mapped_image(mapped.total_cell_area())
     pads = pads_from_order(pad_order, region)
     netlist = mapped_netlist(mapped, pads)
@@ -161,17 +164,17 @@ def place_and_route(
         }
     else:
         with OBS.span("place.global", cells=len(netlist.movables)):
-            placement = GlobalPlacer().place(netlist, region)
+            placement = GlobalPlacer(vec=vec_place).place(netlist, region)
         positions = placement.positions
 
     with OBS.span("place.detailed", cells=len(positions)):
         detailed = detailed_place(netlist, positions,
-                                  incremental=incremental)
+                                  incremental=incremental, vec=vec_place)
     if anneal:
         from repro.place.anneal import simulated_annealing
 
         simulated_annealing(detailed, netlist, seed=anneal_seed,
-                            incremental=incremental)
+                            incremental=incremental, vec=vec_place)
     routed = route_design(mapped, detailed, pads)
     chip = estimate_chip(
         routed.chip_width, routed.chip_height, mapped.total_cell_area()
@@ -183,7 +186,12 @@ def place_and_route(
     for name, p in pads.items():
         if name in mapped:
             mapped[name].position = p
-    timing = analyze(mapped, wire_model=wire_model)
+    if vec_sta:
+        from repro.timing.array_sta import analyze_array
+
+        timing = analyze_array(mapped, wire_model=wire_model)
+    else:
+        timing = analyze(mapped, wire_model=wire_model)
     return BackendResult(detailed, routed, chip, timing, pads)
 
 
@@ -312,7 +320,10 @@ def lily_flow(
             pad_order = io_affinity_order(net)
         with OBS.span("decompose", layout_driven=layout_driven_decomposition):
             if layout_driven_decomposition:
-                subject = _decompose_layout_driven(net, pad_order)
+                subject = _decompose_layout_driven(
+                    net, pad_order,
+                    vec=getattr(perf, "vec_place", True) if perf else True,
+                )
             else:
                 subject = decompose_to_subject(net)
         region = subject_image(len(subject.gates))
@@ -374,7 +385,8 @@ def lily_flow(
     )
 
 
-def _decompose_layout_driven(net: Network, pad_order: List[str]):
+def _decompose_layout_driven(net: Network, pad_order: List[str],
+                             vec: bool = True):
     """Place the source network, then decompose proximity-first."""
     from repro.place.global_place import GlobalPlacer
     from repro.place.hypergraph import network_netlist
@@ -384,7 +396,7 @@ def _decompose_layout_driven(net: Network, pad_order: List[str]):
     known.update(n.name for n in net.primary_outputs)
     pads = pads_from_order([n for n in pad_order if n in known], region)
     netlist = network_netlist(net, pads)
-    placement = GlobalPlacer().place(netlist, region)
+    placement = GlobalPlacer(vec=vec).place(netlist, region)
     positions = dict(placement.positions)
     positions.update(pads)  # PIs appear as leaf positions too
     return decompose_to_subject(net, positions=positions)

@@ -39,13 +39,19 @@ Box = Tuple[float, float, float, float]
 
 
 class _BoxCacheBase:
-    """Shared net classification + exact folding for the box caches."""
+    """Shared net classification + exact folding for the box caches.
+
+    ``vec`` selects the bulk struct-of-arrays build for the initial
+    per-net boxes (:func:`repro.perf.vec.fold_box_arrays`); min/max folds
+    are exact, so the built boxes are bitwise-equal either way.
+    """
 
     def __init__(
         self,
         nets: Sequence[Sequence[str]],
         positions: Dict[str, Point],
         fixed: Dict[str, Point],
+        vec: bool = False,
     ) -> None:
         self.positions = positions
         n = len(nets)
@@ -56,6 +62,7 @@ class _BoxCacheBase:
         self._box: List[Optional[Box]] = [None] * n
         self.refolds = 0
 
+        fold_ids: List[int] = []
         seen: Dict[str, Set[int]] = {}
         for net_id, net in enumerate(nets):
             movable: List[str] = []
@@ -92,10 +99,37 @@ class _BoxCacheBase:
             self._fixed_box.append(fb)
             self._located.append(located)
             if located >= 2:
+                fold_ids.append(net_id)
+        if vec and fold_ids:
+            self._bulk_fold(fold_ids)
+        else:
+            for net_id in fold_ids:
                 self._box[net_id] = self._fold(net_id)
         self.cell_nets = {
             pin: tuple(sorted(ids)) for pin, ids in seen.items()
         }
+
+    def _bulk_fold(self, fold_ids: List[int]) -> None:
+        """Initial boxes for all foldable nets in one array reduction."""
+        from repro.obs import OBS
+        from repro.perf.vec import fold_box_arrays
+
+        movable = self._movable
+        fixed_box = self._fixed_box
+        lx, ly, ux, uy = fold_box_arrays(
+            [movable[i] for i in fold_ids],
+            [fixed_box[i] for i in fold_ids],
+            self.positions,
+        )
+        lxl = lx.tolist()
+        lyl = ly.tolist()
+        uxl = ux.tolist()
+        uyl = uy.tolist()
+        box = self._box
+        for j, net_id in enumerate(fold_ids):
+            box[net_id] = (lxl[j], lyl[j], uxl[j], uyl[j])
+        if OBS.enabled:
+            OBS.metrics.counter("perf.vec.box_folds").inc(len(fold_ids))
 
     def _fold(self, net_id: int) -> Box:
         """Full bounding box of a net from live positions (exact)."""
@@ -137,7 +171,8 @@ class NetBoxCache(_BoxCacheBase):
 
     Pins present in neither dict are ignored, and a net with fewer than
     two located pins has zero HPWL forever — both exactly as the naive
-    fold behaves.
+    fold behaves.  ``vec`` bulk-builds the initial boxes through the
+    struct-of-arrays kernels (bitwise-identical; ``PerfOptions.vec_place``).
     """
 
     def __init__(
@@ -145,8 +180,9 @@ class NetBoxCache(_BoxCacheBase):
         nets: Sequence[Sequence[str]],
         positions: Dict[str, Point],
         fixed: Dict[str, Point],
+        vec: bool = False,
     ) -> None:
-        super().__init__(nets, positions, fixed)
+        super().__init__(nets, positions, fixed, vec=vec)
         self._dirty: List[bool] = [False] * len(nets)
         self._txn: Optional[Dict[int, Tuple[Optional[Box], bool]]] = None
         self._pair_memo: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
@@ -320,8 +356,9 @@ class StampedNetBoxCache(_BoxCacheBase):
         nets: Sequence[Sequence[str]],
         positions: Dict[str, Point],
         fixed: Dict[str, Point],
+        vec: bool = False,
     ) -> None:
-        super().__init__(nets, positions, fixed)
+        super().__init__(nets, positions, fixed, vec=vec)
         self.clock = 0
         self.cell_stamp: Dict[str, int] = {
             pin: 0 for pin in self.cell_nets

@@ -35,6 +35,14 @@ class PerfOptions:
             with the previous solution.  Only affects flows with
             ``replace_interval > 0``; warm CG matches a cold solve to
             solver tolerance, not bitwise.
+        vec_place: struct-of-arrays numpy kernels (``repro.perf.vec``)
+            for the placement hot paths — vectorized quadratic-system
+            assembly, bulk net-box builds, and the annealer's SoA HPWL
+            delta engine (bit-identical to the naive folds; see
+            ``docs/SCALING.md``).
+        vec_sta: levelized array-form STA
+            (:mod:`repro.timing.array_sta`) for full timing passes;
+            bit-identical to :func:`repro.timing.sta.analyze`.
         jobs: worker threads for the parallel per-cone match prewarm
             (1 = sequential; results are identical for any value).
         procs: worker *processes* for suite runs (``run_table1`` /
@@ -49,6 +57,8 @@ class PerfOptions:
     incremental_place: bool = True
     incremental_sta: bool = True
     warm_replace: bool = True
+    vec_place: bool = True
+    vec_sta: bool = True
     jobs: int = 1
     procs: int = 1
 
@@ -62,6 +72,8 @@ class PerfOptions:
             incremental_place=False,
             incremental_sta=False,
             warm_replace=False,
+            vec_place=False,
+            vec_sta=False,
             jobs=1,
             procs=1,
         )

@@ -1,0 +1,522 @@
+"""Struct-of-arrays numpy kernels for the placement/STA hot paths.
+
+The naive placement and timing engines walk Python objects per net and
+per node; at the 1k–50k-gate scale of ``benchmarks/scaling.py`` those
+loops become the wall (ROADMAP item 3).  This module holds the shared
+vectorized kernels:
+
+* :class:`PinTable` — a flat pin table over a placement hypergraph
+  (``net -> slot indices`` into one coordinate array pair) answering
+  per-net bounding boxes and half-perimeter wirelengths as index-array
+  reductions (``np.minimum/maximum.reduceat``);
+* :func:`fold_box_arrays` — the bulk net-box build behind
+  :class:`repro.perf.incremental.NetBoxCache` construction;
+* :func:`assemble_quadratic` — the COO assembly of
+  :class:`repro.place.quadratic.QuadraticSystem` as vectorized
+  index/value streams.
+
+Exactness policy (see ``docs/SCALING.md``): min/max reductions over
+floats are order-independent and therefore *bitwise* equal to the naive
+folds; float *sums* are only reproduced bitwise where the kernel
+accumulates in the naive engine's operation order
+(:func:`ordered_sum`, :func:`segment_sum_ordered`, and the
+``np.add.at`` streams of :func:`assemble_quadratic`, which apply
+contributions strictly in naive edge order).  Anything passing through
+an iterative solver (CG) matches to solver tolerance only, exactly as
+the retained naive path already documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ordered_sum",
+    "segment_min",
+    "segment_max",
+    "segment_sum_ordered",
+    "PinTable",
+    "fold_box_arrays",
+    "assemble_quadratic",
+    "kernel_backend_info",
+]
+
+
+def ordered_sum(values) -> float:
+    """Left-to-right float sum, bitwise-equal to a naive ``+=`` loop."""
+    if isinstance(values, np.ndarray):
+        values = values.tolist()
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def _segment_reduce(ufunc, values: np.ndarray, offsets: np.ndarray,
+                    empty: float) -> np.ndarray:
+    """Per-segment ``ufunc`` reduction; empty segments yield ``empty``.
+
+    ``offsets`` has one more entry than there are segments and is
+    monotone with ``offsets[-1] == len(values)``.  A sentinel identity
+    element guards trailing empty segments (``reduceat`` would index
+    past the end otherwise); interior empty segments are masked after
+    the fact because ``reduceat`` returns a neighbour's element there.
+    """
+    counts = np.diff(offsets)
+    if len(counts) == 0:
+        return np.empty(0, dtype=np.float64)
+    padded = np.append(np.asarray(values, dtype=np.float64), empty)
+    out = ufunc.reduceat(padded, offsets[:-1])
+    out[counts == 0] = empty
+    return out
+
+
+def segment_min(values, offsets, empty: float = np.inf) -> np.ndarray:
+    """Per-segment minimum (exact: min is order-independent)."""
+    return _segment_reduce(np.minimum, values, offsets, empty)
+
+
+def segment_max(values, offsets, empty: float = -np.inf) -> np.ndarray:
+    """Per-segment maximum (exact: max is order-independent)."""
+    return _segment_reduce(np.maximum, values, offsets, empty)
+
+
+def segment_sum_ordered(values, offsets) -> np.ndarray:
+    """Per-segment sums accumulated strictly left to right.
+
+    ``np.add.reduceat`` uses unrolled/pairwise accumulation whose
+    rounding differs from a naive sequential loop; this kernel groups
+    segments by length and adds one column at a time, so every segment
+    sums in exactly the order the naive engines do (bitwise-equal
+    results).  Empty segments sum to ``0.0``.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    counts = np.diff(offsets)
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros(len(counts), dtype=np.float64)
+    if len(counts) == 0:
+        return out
+    starts = offsets[:-1]
+    for length in np.unique(counts):
+        if length == 0:
+            continue
+        sel = np.nonzero(counts == length)[0]
+        idx = starts[sel][:, None] + np.arange(length)
+        mat = values[idx]
+        acc = mat[:, 0].copy()
+        for j in range(1, int(length)):
+            acc += mat[:, j]
+        out[sel] = acc
+    return out
+
+
+class PinTable:
+    """Flat struct-of-arrays pin table of a placement hypergraph.
+
+    Movable cells get coordinate slots refreshed from the live position
+    dict (:meth:`refresh` / :meth:`update_cell`); fixed terminals are
+    baked into the tail of the same arrays once.  Pins present in
+    neither dict are dropped and nets with fewer than two located pins
+    report zero HPWL — exactly the naive fold semantics of
+    ``repro.place`` and :class:`repro.perf.incremental.NetBoxCache`.
+    """
+
+    def __init__(self, nets: Sequence[Sequence[str]], positions, fixed) -> None:
+        slot: Dict[str, int] = {}
+        for name in positions:
+            slot[name] = len(slot)
+        self.cell_slot = slot
+        n_mov = len(slot)
+        self.num_movable = n_mov
+        fixed_slot: Dict[str, int] = {}
+        fxs: List[float] = []
+        fys: List[float] = []
+        pin_slots: List[int] = []
+        offsets: List[int] = [0]
+        for net in nets:
+            for pin in net:
+                s = slot.get(pin)
+                if s is None:
+                    fs = fixed_slot.get(pin)
+                    if fs is None:
+                        p = fixed.get(pin)
+                        if p is None:
+                            continue
+                        fs = fixed_slot[pin] = len(fixed_slot)
+                        fxs.append(p.x)
+                        fys.append(p.y)
+                    pin_slots.append(n_mov + fs)
+                else:
+                    pin_slots.append(s)
+            offsets.append(len(pin_slots))
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.pin_slots = np.asarray(pin_slots, dtype=np.int64)
+        self.counts = np.diff(self.offsets)
+        #: Nets with >= 2 located pins (the only ones with nonzero HPWL).
+        self.valid = self.counts >= 2
+        self.num_nets = len(self.counts)
+        self.x = np.zeros(n_mov + len(fixed_slot), dtype=np.float64)
+        self.y = np.zeros(n_mov + len(fixed_slot), dtype=np.float64)
+        if fixed_slot:
+            self.x[n_mov:] = fxs
+            self.y[n_mov:] = fys
+        # Python-list mirrors of the coordinate arrays and the pin table:
+        # small per-move batches fold faster through plain list indexing
+        # than through numpy call overhead, with identical bits either way.
+        self._xl: List[float] = self.x.tolist()
+        self._yl: List[float] = self.y.tolist()
+        self._flat: List[int] = self.pin_slots.tolist()
+        self._offs: List[int] = self.offsets.tolist()
+        self.refresh(positions)
+        self._subset_memo: Dict[
+            Tuple[int, ...],
+            Tuple[np.ndarray, np.ndarray, List[bool], int],
+        ] = {}
+
+    def refresh(self, positions) -> None:
+        """Pull every movable cell's coordinates from a position dict."""
+        x = self.x
+        y = self.y
+        xl = self._xl
+        yl = self._yl
+        get = self.cell_slot.get
+        for name, p in positions.items():
+            i = get(name)
+            if i is not None:
+                x[i] = xl[i] = p.x
+                y[i] = yl[i] = p.y
+
+    def update_cell(self, name: str, x: float, y: float) -> None:
+        """O(1) coordinate update for one movable cell (unknown = no-op)."""
+        i = self.cell_slot.get(name)
+        if i is not None:
+            self.x[i] = x
+            self.y[i] = y
+            self._xl[i] = x
+            self._yl[i] = y
+
+    def boxes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-net bounding boxes ``(lx, ly, ux, uy)``.
+
+        Entries for nets with no located pins hold infinities; consult
+        :attr:`valid` (or use :meth:`hpwl`, which masks them).
+        """
+        px = self.x[self.pin_slots]
+        py = self.y[self.pin_slots]
+        return (
+            segment_min(px, self.offsets),
+            segment_min(py, self.offsets),
+            segment_max(px, self.offsets),
+            segment_max(py, self.offsets),
+        )
+
+    def hpwl(self) -> np.ndarray:
+        """Per-net half-perimeter wirelengths (0.0 below two located pins)."""
+        lx, ly, ux, uy = self.boxes()
+        valid = self.valid
+        lx = np.where(valid, lx, 0.0)
+        ly = np.where(valid, ly, 0.0)
+        ux = np.where(valid, ux, 0.0)
+        uy = np.where(valid, uy, 0.0)
+        return (ux - lx) + (uy - ly)
+
+    def total_hpwl(self) -> float:
+        """Sum of all net HPWLs, accumulated in naive net order (bitwise)."""
+        return ordered_sum(self.hpwl())
+
+    #: Batches with fewer pins than this fold through the list mirrors
+    #: (numpy per-call overhead dominates below it; same bits either way).
+    SMALL_BATCH_PINS = 48
+
+    def hpwl_of(self, net_ids: Sequence[int]) -> List[float]:
+        """HPWL of selected nets as one batched fold (memoized per tuple).
+
+        The concatenated index plan is cached keyed on the net-id tuple,
+        so callers probing the same net set repeatedly (e.g. apply/undo
+        pairs) fold through a prebuilt plan.  Small batches fold through
+        the Python-list mirrors instead of numpy — bitwise the same
+        result (min/max folds are exact in any representation).  Note
+        the annealer deliberately does *not* score moves through this
+        (measured slower than dict reads at 2–6-net batches; see
+        ``docs/SCALING.md``).
+        """
+        key = tuple(net_ids)
+        plan = self._subset_memo.get(key)
+        if plan is None:
+            parts = []
+            offs = [0]
+            valid: List[bool] = []
+            offsets = self._offs
+            pin_slots = self.pin_slots
+            for i in key:
+                s = offsets[i]
+                e = offsets[i + 1]
+                parts.append(pin_slots[s:e])
+                offs.append(offs[-1] + (e - s))
+                valid.append(bool(self.valid[i]))
+            idx = (np.concatenate(parts) if parts
+                   else np.empty(0, dtype=np.int64))
+            plan = (idx, np.asarray(offs, dtype=np.int64), valid, offs[-1])
+            self._subset_memo[key] = plan
+        idx, offs, valid, total_pins = plan
+        if total_pins < self.SMALL_BATCH_PINS:
+            return self._hpwl_of_small(key, valid)
+        px = self.x[idx]
+        py = self.y[idx]
+        lx = segment_min(px, offs).tolist()
+        ux = segment_max(px, offs).tolist()
+        ly = segment_min(py, offs).tolist()
+        uy = segment_max(py, offs).tolist()
+        return [
+            (ux[j] - lx[j]) + (uy[j] - ly[j]) if ok else 0.0
+            for j, ok in enumerate(valid)
+        ]
+
+    def _hpwl_of_small(
+        self, net_ids: Tuple[int, ...], valid: List[bool]
+    ) -> List[float]:
+        """Per-net fold over the list mirrors (exact, low fixed cost)."""
+        xl = self._xl
+        yl = self._yl
+        flat = self._flat
+        offsets = self._offs
+        out: List[float] = []
+        for j, i in enumerate(net_ids):
+            if not valid[j]:
+                out.append(0.0)
+                continue
+            s = offsets[i]
+            e = offsets[i + 1]
+            slot = flat[s]
+            lx = ux = xl[slot]
+            ly = uy = yl[slot]
+            for p in range(s + 1, e):
+                slot = flat[p]
+                px = xl[slot]
+                py = yl[slot]
+                if px < lx:
+                    lx = px
+                elif px > ux:
+                    ux = px
+                if py < ly:
+                    ly = py
+                elif py > uy:
+                    uy = py
+            out.append((ux - lx) + (uy - ly))
+        return out
+
+
+def fold_box_arrays(
+    movable_nets: Sequence[Sequence[str]],
+    fixed_boxes: Sequence[Optional[Tuple[float, float, float, float]]],
+    positions,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Bulk-fold per-net boxes for the incremental box caches.
+
+    ``movable_nets`` holds each net's movable member cells and
+    ``fixed_boxes`` the per-net static partial box over its fixed pins
+    (``None`` when a net has no fixed pins), exactly the classification
+    :class:`repro.perf.incremental._BoxCacheBase` produces.  Returns
+    ``(lx, ly, ux, uy)`` arrays; entries for nets with neither movable
+    members nor a fixed box are infinities and must be masked by the
+    caller.  Min/max folds are exact, so every returned bound is
+    bitwise-equal to the naive per-net fold.
+    """
+    slot: Dict[str, int] = {}
+    coords_x: List[float] = []
+    coords_y: List[float] = []
+    flat: List[int] = []
+    offsets: List[int] = [0]
+    for net in movable_nets:
+        for pin in net:
+            s = slot.get(pin)
+            if s is None:
+                p = positions[pin]
+                s = slot[pin] = len(slot)
+                coords_x.append(p.x)
+                coords_y.append(p.y)
+            flat.append(s)
+        offsets.append(len(flat))
+    off = np.asarray(offsets, dtype=np.int64)
+    idx = np.asarray(flat, dtype=np.int64)
+    xs = np.asarray(coords_x, dtype=np.float64)
+    ys = np.asarray(coords_y, dtype=np.float64)
+    px = xs[idx]
+    py = ys[idx]
+    lx = segment_min(px, off)
+    ly = segment_min(py, off)
+    ux = segment_max(px, off)
+    uy = segment_max(py, off)
+    m = len(movable_nets)
+    slx = np.full(m, np.inf)
+    sly = np.full(m, np.inf)
+    sux = np.full(m, -np.inf)
+    suy = np.full(m, -np.inf)
+    for i, fb in enumerate(fixed_boxes):
+        if fb is not None:
+            slx[i], sly[i], sux[i], suy[i] = fb
+    return (
+        np.minimum(lx, slx),
+        np.minimum(ly, sly),
+        np.maximum(ux, sux),
+        np.maximum(uy, suy),
+    )
+
+
+#: Cached pair-index templates for the quadratic edge expansion, keyed by
+#: (kind, pin count): kind 1 is star-shaped (driver to each sink), kind 2
+#: the full i<j clique in naive lexicographic order.
+_PAIR_TEMPLATES: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _pair_template(kind: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    got = _PAIR_TEMPLATES.get((kind, k))
+    if got is None:
+        if kind == 1:
+            ti = np.zeros(k - 1, dtype=np.int64)
+            tj = np.arange(1, k, dtype=np.int64)
+        else:
+            pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+            ti = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            tj = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        got = _PAIR_TEMPLATES[(kind, k)] = (ti, tj)
+    return got
+
+
+def assemble_quadratic(
+    nets: Sequence[Sequence[str]],
+    index: Dict[str, int],
+    fixed,
+    n: int,
+    center,
+    weight_model: str,
+    star_limit: int,
+    anchor_epsilon: float,
+):
+    """Vectorized COO assembly of the quadratic placement system.
+
+    Mirrors the per-edge loop of
+    :class:`repro.place.quadratic.QuadraticSystem` bitwise: edges are
+    generated per net in the exact naive order (clique pairs
+    lexicographic, wide/star nets driver-to-sink), and the diagonal /
+    right-hand-side contributions are applied with ``np.add.at`` —
+    an element-at-a-time in-order accumulation — on top of the same
+    ``anchor_epsilon`` base, so every float lands via the same sequence
+    of IEEE additions as the naive build.
+
+    Returns ``(diag, bx, by, rows, cols, vals)`` numpy arrays; the
+    off-diagonal streams (``rows``/``cols``/``vals``) list entries in
+    naive extension order so the later CSR duplicate-summation is
+    bitwise-reproducible too.
+    """
+    star_model = weight_model == "star"
+    fixed_slot: Dict[str, int] = {}
+    fxs: List[float] = []
+    fys: List[float] = []
+    flat: List[int] = []
+    offsets: List[int] = [0]
+    for net in nets:
+        for pin in net:
+            s = index.get(pin)
+            if s is None:
+                fs = fixed_slot.get(pin)
+                if fs is None:
+                    if len(net) < 2:
+                        # Naive never resolves pins of sub-2-pin nets
+                        # (clique_edges returns [] first); skip them so a
+                        # dangling name there cannot raise here either.
+                        continue
+                    p = fixed[pin]
+                    fs = fixed_slot[pin] = len(fixed_slot)
+                    fxs.append(p.x)
+                    fys.append(p.y)
+                flat.append(n + fs)
+            else:
+                flat.append(s)
+        offsets.append(len(flat))
+    flat_arr = np.asarray(flat, dtype=np.int64)
+    off_arr = np.asarray(offsets, dtype=np.int64)
+    k_arr = np.diff(off_arr)
+
+    if star_model:
+        kind = np.where(k_arr >= 2, 1, 0)
+    else:
+        kind = np.where(k_arr < 2, 0, np.where(k_arr > star_limit, 1, 2))
+    with np.errstate(divide="ignore"):
+        w_net = np.where(
+            k_arr > 0,
+            1.0 if star_model else 2.0 / np.maximum(k_arr, 1),
+            0.0,
+        )
+    ecount = np.where(
+        kind == 1, k_arr - 1,
+        np.where(kind == 2, k_arr * (k_arr - 1) // 2, 0),
+    )
+    eoff = np.concatenate([[0], np.cumsum(ecount)])
+    num_edges = int(eoff[-1])
+
+    a = np.empty(num_edges, dtype=np.int64)
+    b = np.empty(num_edges, dtype=np.int64)
+    wv = np.empty(num_edges, dtype=np.float64)
+    for k, kd in {(int(kk), int(kk_kind))
+                  for kk, kk_kind in zip(k_arr, kind) if kk_kind > 0}:
+        ids = np.nonzero((k_arr == k) & (kind == kd))[0]
+        mat = flat_arr[off_arr[ids][:, None] + np.arange(k)]
+        ti, tj = _pair_template(kd, k)
+        pos = (eoff[ids][:, None] + np.arange(len(ti))).ravel()
+        a[pos] = mat[:, ti].ravel()
+        b[pos] = mat[:, tj].ravel()
+        wv[pos] = np.repeat(w_net[ids], len(ti))
+
+    am = a < n
+    bm = b < n
+    both = am & bm
+    single = am ^ bm
+
+    diag = np.full(n + 1, anchor_epsilon)
+    bx = np.full(n + 1, anchor_epsilon * center.x)
+    by = np.full(n + 1, anchor_epsilon * center.y)
+    if num_edges:
+        mov_single = np.where(am, a, b)
+        d1 = np.where(both | single, np.where(both, a, mov_single), n)
+        d2 = np.where(both, b, n)
+        np.add.at(diag, np.stack((d1, d2), axis=1).ravel(),
+                  np.repeat(wv, 2))
+        if fixed_slot:
+            fx = np.asarray(fxs, dtype=np.float64)
+            fy = np.asarray(fys, dtype=np.float64)
+            fsel = np.where(single, np.where(am, b, a) - n, 0)
+            bidx = np.where(single, mov_single, n)
+            np.add.at(bx, bidx, np.where(single, wv * fx[fsel], 0.0))
+            np.add.at(by, bidx, np.where(single, wv * fy[fsel], 0.0))
+        rows = np.stack((a, b), axis=1)[both].ravel()
+        cols = np.stack((b, a), axis=1)[both].ravel()
+        vals = np.repeat(-wv[both], 2)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    return diag[:n], bx[:n], by[:n], rows, cols, vals
+
+
+def kernel_backend_info() -> Dict[str, object]:
+    """Machine-readable kernel-backend metadata for bench artifacts.
+
+    Records which array libraries (and versions) the struct-of-arrays
+    kernels ran on plus the default ``PerfOptions`` kernel flags, so any
+    two ``BENCH_*.json`` files state the backends they compare.
+    """
+    import scipy
+
+    from repro.perf.options import PerfOptions
+
+    defaults = PerfOptions()
+    return {
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "vec_place_default": defaults.vec_place,
+        "vec_sta_default": defaults.vec_sta,
+        "small_batch_pins": PinTable.SMALL_BATCH_PINS,
+    }

@@ -106,6 +106,7 @@ def detailed_place(
     improvement_passes: int = 1,
     num_rows: Optional[int] = None,
     incremental: bool = True,
+    vec: bool = True,
 ) -> DetailedPlacement:
     """Legalise a global placement into standard-cell rows.
 
@@ -120,6 +121,9 @@ def detailed_place(
         incremental: score the swap passes against the per-net bounding
             box cache (bit-identical results, much faster); off uses the
             full-recompute reference pass.
+        vec: with ``incremental``, bulk-build the cache's initial boxes
+            through the struct-of-arrays kernels (bitwise-identical;
+            ``PerfOptions.vec_place``).
     """
     widths = {
         name: max(netlist.sizes.get(name, 1.0), 1e-9) / cell_height
@@ -166,7 +170,8 @@ def detailed_place(
         from repro.obs import OBS
         from repro.perf.incremental import NetBoxCache
 
-        cache = NetBoxCache(netlist.nets, placement.positions, netlist.fixed)
+        cache = NetBoxCache(netlist.nets, placement.positions, netlist.fixed,
+                            vec=vec)
         for _ in range(improvement_passes):
             if not _swap_pass_cached(placement, netlist, cache):
                 break

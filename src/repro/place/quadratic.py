@@ -88,7 +88,15 @@ class QuadraticSystem:
         netlist: PlacementNetlist,
         region: Rect,
         weight_model: str = "clique",
+        vec: bool = True,
     ) -> None:
+        """Build the system; ``vec`` selects the struct-of-arrays assembly.
+
+        The vectorized assembly (:func:`repro.perf.vec.assemble_quadratic`)
+        produces bitwise-identical diagonal/rhs/off-diagonal streams to
+        the per-edge Python loop below, so ``vec`` only changes build
+        speed — the randomized equivalence tests assert exact equality.
+        """
         self.netlist = netlist
         self.region = region
         self.weight_model = weight_model
@@ -97,6 +105,26 @@ class QuadraticSystem:
         self.index = {name: i for i, name in enumerate(netlist.movables)}
         self._center = region.center
         center = self._center
+        self._vec = bool(vec and n)
+
+        if self._vec:
+            from repro.obs import OBS
+            from repro.perf.vec import assemble_quadratic
+
+            diag, bx, by, vrows, vcols, vvals = assemble_quadratic(
+                netlist.nets, self.index, netlist.fixed, n, center,
+                weight_model, CLIQUE_STAR_LIMIT, ANCHOR_EPSILON,
+            )
+            self._diag = diag
+            self._bx = bx
+            self._by = by
+            self._rows = vrows
+            self._cols = vcols
+            self._vals = vvals
+            if OBS.enabled:
+                OBS.metrics.counter("perf.vec.quad_assemblies").inc()
+                OBS.metrics.counter("perf.vec.quad_edges").inc(len(vvals))
+            return
 
         diag = np.full(n, ANCHOR_EPSILON)
         bx = np.full(n, ANCHOR_EPSILON * center.x)
@@ -157,10 +185,20 @@ class QuadraticSystem:
             bx[i] += weight * point.x
             by[i] += weight * point.y
 
-        rows = self._rows + list(range(n))
-        cols = self._cols + list(range(n))
-        vals = list(self._vals)
-        vals.extend(diag)
+        if self._vec:
+            # Same entry sequence as the list path below: off-diagonal
+            # stream first, then the (anchored) diagonal — the COO->CSR
+            # duplicate summation therefore runs over identical data and
+            # the matrix is bitwise-equal.
+            arange = np.arange(n)
+            rows = np.concatenate([self._rows, arange])
+            cols = np.concatenate([self._cols, arange])
+            vals = np.concatenate([self._vals, diag])
+        else:
+            rows = self._rows + list(range(n))
+            cols = self._cols + list(range(n))
+            vals = list(self._vals)
+            vals.extend(diag)
         laplacian = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
 
         x0 = y0 = None
@@ -190,6 +228,7 @@ def solve_quadratic(
     anchors: Optional[Dict[str, Tuple[Point, float]]] = None,
     weight_model: str = "clique",
     initial: Optional[Dict[str, Point]] = None,
+    vec: bool = True,
 ) -> Dict[str, Point]:
     """Solve the quadratic placement for all movable cells.
 
@@ -205,11 +244,13 @@ def solve_quadratic(
             meaning.  Warm starts change the CG iterate sequence, so the
             result matches a cold solve to solver tolerance, not bitwise;
             leave unset where bit-reproducibility matters.
+        vec: use the struct-of-arrays system assembly (bitwise-identical
+            matrix, much faster to build; see ``docs/SCALING.md``).
 
     Returns:
         Cell name -> position for every movable cell.
     """
-    return QuadraticSystem(netlist, region, weight_model).solve(
+    return QuadraticSystem(netlist, region, weight_model, vec=vec).solve(
         anchors, initial=initial
     )
 

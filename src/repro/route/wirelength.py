@@ -11,7 +11,7 @@ Lily implements two estimators and we reproduce both:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.geometry import Point, bounding_rect
 
@@ -20,6 +20,8 @@ __all__ = [
     "chung_hwang_factor",
     "steiner_estimate",
     "net_length_estimate",
+    "netlist_hpwl",
+    "netlist_hpwl_naive",
 ]
 
 
@@ -49,6 +51,61 @@ def steiner_estimate(points: Sequence[Point]) -> float:
     if len(points) < 2:
         return 0.0
     return hpwl(points) * chung_hwang_factor(len(points))
+
+
+def netlist_hpwl_naive(
+    nets: Sequence[Sequence[str]],
+    positions: Dict[str, Point],
+    fixed: Dict[str, Point],
+) -> float:
+    """Total HPWL over a hypergraph, one Python fold per net.
+
+    The reference for :func:`netlist_hpwl`: pins resolve through the
+    movable positions first, then the fixed terminals; unlocatable pins
+    are skipped and nets with fewer than two located pins contribute
+    ``+0.0``.  Kept as the exactness oracle for the vectorized kernel
+    (the randomized equivalence tests compare the two bitwise).
+    """
+    total = 0.0
+    for net in nets:
+        xs = []
+        ys = []
+        for pin in net:
+            p = positions.get(pin)
+            if p is None:
+                p = fixed.get(pin)
+                if p is None:
+                    continue
+            xs.append(p.x)
+            ys.append(p.y)
+        if len(xs) < 2:
+            continue
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def netlist_hpwl(
+    nets: Sequence[Sequence[str]],
+    positions: Dict[str, Point],
+    fixed: Dict[str, Point],
+    vec: bool = True,
+) -> float:
+    """Total HPWL over a hypergraph (the placement cost function).
+
+    With ``vec`` the nets fold as one flat-pin-table index reduction
+    (:class:`repro.perf.vec.PinTable`) with the per-net terms summed in
+    naive net order — bitwise-equal to :func:`netlist_hpwl_naive`, which
+    the naive path runs directly.
+    """
+    if not vec:
+        return netlist_hpwl_naive(nets, positions, fixed)
+    from repro.obs import OBS
+    from repro.perf.vec import PinTable
+
+    total = PinTable(nets, positions, fixed).total_hpwl()
+    if OBS.enabled:
+        OBS.metrics.counter("perf.vec.hpwl_folds").inc(len(nets))
+    return total
 
 
 def net_length_estimate(points: Sequence[Point], model: str = "steiner") -> float:

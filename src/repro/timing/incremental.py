@@ -55,6 +55,11 @@ class IncrementalTiming:
         input_arrivals: PI name -> arrival time (default 0).
         pad_cap: load presented by an output pad.
         wire_cap_per_fanout: fallback lumped wire cap per fanout.
+        vec: run the full passes (the constructor's forward sweep and
+            any full backward recompute) through the levelized
+            :class:`~repro.timing.array_sta.ArraySTA` kernels — bitwise
+            the same report (``PerfOptions.vec_sta``).  Frontier updates
+            always use the shared per-node helpers.
 
     The constructor runs one full pass; afterwards
     :meth:`set_position` / :meth:`set_input_arrival` record changes and
@@ -68,19 +73,33 @@ class IncrementalTiming:
         input_arrivals: Optional[Dict[str, float]] = None,
         pad_cap: float = 0.25,
         wire_cap_per_fanout: float = 0.0,
+        vec: bool = True,
     ) -> None:
         self.mapped = mapped
         self.wire_model = wire_model
         self.input_arrivals = dict(input_arrivals or {})
         self.pad_cap = pad_cap
         self.wire_cap_per_fanout = wire_cap_per_fanout
-        self.report = analyze(
-            mapped,
-            wire_model=wire_model,
-            input_arrivals=self.input_arrivals,
-            pad_cap=pad_cap,
-            wire_cap_per_fanout=wire_cap_per_fanout,
-        )
+        if vec:
+            from repro.timing.array_sta import ArraySTA
+
+            self._array: Optional["ArraySTA"] = ArraySTA(
+                mapped,
+                wire_model=wire_model,
+                input_arrivals=self.input_arrivals,
+                pad_cap=pad_cap,
+                wire_cap_per_fanout=wire_cap_per_fanout,
+            )
+            self.report = self._array.analyze()
+        else:
+            self._array = None
+            self.report = analyze(
+                mapped,
+                wire_model=wire_model,
+                input_arrivals=self.input_arrivals,
+                pad_cap=pad_cap,
+                wire_cap_per_fanout=wire_cap_per_fanout,
+            )
         self._order = mapped.topological_order()
         self._topo = {node.name: i for i, node in enumerate(self._order)}
         self._node = {node.name: node for node in self._order}
@@ -202,9 +221,12 @@ class IncrementalTiming:
         )
         required = self._required
         if required is None or effective != self._required_deadline:
-            from repro.timing.sta import required_times
+            if self._array is not None:
+                required = self._array.required_from(report.loads, effective)
+            else:
+                from repro.timing.sta import required_times
 
-            required = required_times(self.mapped, report, effective)
+                required = required_times(self.mapped, report, effective)
             self._required = required
             self._required_deadline = effective
             self._required_stale.clear()

@@ -48,6 +48,7 @@ __all__ = [
     "check_placement",
     "check_timing",
     "check_incremental_sta",
+    "check_vec_kernels",
 ]
 
 #: Absolute tolerance for floating-point geometric/timing comparisons.
@@ -585,6 +586,97 @@ def check_incremental_sta(
         except Exception:
             pass
     return [_result("invariant.timing.incremental", target, problems, t0)]
+
+
+def check_vec_kernels(
+    mapped: MappedNetwork,
+    wire_model: Optional[WireCapModel] = None,
+) -> List[CheckResult]:
+    """Audit the struct-of-arrays kernels against the naive engines.
+
+    Rebuilds the flow's own artifacts both ways on the audited netlist
+    and demands **bitwise** agreement, per the exactness policy of
+    ``docs/SCALING.md``:
+
+    * total HPWL and per-net bounding boxes of the mapped netlist's nets
+      (:class:`repro.perf.vec.PinTable` / bulk
+      :class:`~repro.perf.incremental.NetBoxCache` build vs the Python
+      folds);
+    * a full array-form STA (:class:`repro.timing.array_sta.ArraySTA`)
+      vs :func:`repro.timing.sta.analyze` — arrivals, loads, critical
+      output/delay — and the backward required times at the default
+      deadline.
+    """
+    t0 = time.perf_counter()
+    target = mapped.name
+    problems: List[str] = []
+    try:
+        from repro.perf.incremental import NetBoxCache
+        from repro.perf.vec import PinTable
+        from repro.route.wirelength import netlist_hpwl_naive
+        from repro.timing.array_sta import ArraySTA
+        from repro.timing.sta import analyze
+
+        nets = [
+            [net.driver.name] + [node.name for node, _pin in net.sinks]
+            for net in mapped.nets()
+        ]
+        positions = {
+            node.name: node.position
+            for node in mapped.nodes
+            if node.position is not None
+        }
+        table = PinTable(nets, positions, {})
+        vec_total = table.total_hpwl()
+        naive_total = netlist_hpwl_naive(nets, positions, {})
+        if vec_total != naive_total:
+            problems.append(
+                f"vec HPWL {vec_total!r} != naive {naive_total!r}"
+            )
+        vec_cache = NetBoxCache(nets, positions, {}, vec=True)
+        naive_cache = NetBoxCache(nets, positions, {}, vec=False)
+        if vec_cache._box != naive_cache._box:
+            bad = sum(
+                1 for a, b in zip(vec_cache._box, naive_cache._box)
+                if a != b
+            )
+            problems.append(f"{bad} net boxes differ between vec and "
+                            f"naive bulk builds")
+
+        full = analyze(mapped, wire_model=wire_model)
+        vec = ArraySTA(mapped, wire_model=wire_model).analyze()
+        for name, want in full.arrivals.items():
+            got = vec.arrivals.get(name)
+            if got is None or got.rise != want.rise or got.fall != want.fall:
+                problems.append(
+                    f"array-STA arrival mismatch at {name}: "
+                    f"vec={got} full={want}"
+                )
+        if vec.loads != full.loads:
+            bad = [n for n, v in full.loads.items()
+                   if vec.loads.get(n) != v]
+            problems.append(
+                f"array-STA load mismatch at {len(bad)} gates "
+                f"(e.g. {bad[0] if bad else '?'})"
+            )
+        if (vec.critical_po, vec.critical_delay) != (
+                full.critical_po, full.critical_delay):
+            problems.append(
+                f"array-STA critical mismatch: vec=({vec.critical_po}, "
+                f"{vec.critical_delay!r}) full=({full.critical_po}, "
+                f"{full.critical_delay!r})"
+            )
+        want_req = required_times(mapped, full)
+        got_req = ArraySTA(mapped, wire_model=wire_model).required(vec)
+        if want_req != got_req:
+            bad = [n for n, v in want_req.items() if got_req.get(n) != v]
+            problems.append(
+                f"array-STA required-time mismatch at {len(bad)} nodes "
+                f"(e.g. {bad[0] if bad else '?'})"
+            )
+    except Exception as exc:  # kernel crash must not kill the audit
+        problems.append(f"vec kernel audit aborted: {exc}")
+    return [_result("invariant.perf.vec", target, problems, t0)]
 
 
 def _safe_slacks(mapped: MappedNetwork,

@@ -81,3 +81,34 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert tool.main([]) == 0
         assert "verdict" in capsys.readouterr().out
+
+    def test_watch_prefix_filters_table_and_gate(self, tool, tmp_path,
+                                                 capsys):
+        a = self._write(tmp_path, "a.json",
+                        _doc(6, **{"scale.hpwl": 1.0, "anneal": 1.0}))
+        b = self._write(tmp_path, "b.json",
+                        _doc(7, **{"scale.hpwl": 0.9, "anneal": 5.0}))
+        # The anneal regression is outside the watched prefix: the gate
+        # passes and the row is absent from the table.
+        assert tool.main([a, b, "--watch", "scale.",
+                          "--fail-on-regress"]) == 0
+        out = capsys.readouterr().out
+        assert "scale.hpwl" in out
+        assert "anneal" not in out
+        # Regressions inside the prefix still gate.
+        c = self._write(tmp_path, "c.json",
+                        _doc(8, **{"scale.hpwl": 5.0, "anneal": 1.0}))
+        assert tool.main([a, c, "--watch", "scale.",
+                          "--fail-on-regress"]) == 1
+
+    def test_kernels_section_printed(self, tool, tmp_path, capsys):
+        old = _doc(6, x=1.0)
+        new = _doc(7, x=1.0)
+        new["kernels"] = {"numpy": "2.4.6", "scipy": "1.17.1",
+                          "vec_place_default": True}
+        a = self._write(tmp_path, "a.json", old)
+        b = self._write(tmp_path, "b.json", new)
+        assert tool.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "numpy 2.4.6" in out
+        assert "vec_place_default=True" in out

@@ -26,6 +26,8 @@ DOCSTRING_SCOPE = [
     "src/repro/flow/pipeline.py",
     "src/repro/flow/tables.py",
     "src/repro/flow/__main__.py",
+    "src/repro/perf/vec.py",
+    "src/repro/timing/array_sta.py",
 ]
 
 DOC_FILES = ["README.md"] + sorted(
@@ -63,6 +65,7 @@ class TestRepositoryPasses:
         assert (REPO_ROOT / "docs" / "FORMATS.md").is_file()
         assert (REPO_ROOT / "docs" / "SERVING.md").is_file()
         assert (REPO_ROOT / "docs" / "OBSERVING.md").is_file()
+        assert (REPO_ROOT / "docs" / "SCALING.md").is_file()
 
     def test_readme_and_docs_links(self, check_links, capsys):
         files = [str(REPO_ROOT / f) for f in DOC_FILES]

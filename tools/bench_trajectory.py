@@ -11,12 +11,17 @@ Run from the repo root::
 
     PYTHONPATH=src python tools/bench_trajectory.py \
         [BENCH_PR4.json BENCH_PR6.json] [--threshold 1.2] \
-        [--fail-on-regress]
+        [--fail-on-regress] [--watch PREFIX]
 
 With no paths the two newest ``BENCH_PR*.json`` by PR number are
 compared (oldest of the pair as the baseline).  ``--fail-on-regress``
 turns the report into a gate: exit 1 when any shared row is slower
-than ``threshold`` times the baseline.  Absolute times come from
+than ``threshold`` times the baseline; ``--watch PREFIX`` (repeatable)
+restricts both the table and the gate to rows whose names start with a
+prefix — CI's bench-smoke step watches ``scale.`` this way.  When an
+artifact carries a ``kernels`` section (PR 7 onward) the array-backend
+versions are printed alongside, so cross-machine ratios are read
+against the numpy/scipy they ran on.  Absolute times come from
 different machines on different days — the ratios are trend data, not
 a regression proof; ``benchmarks/check_perf_regression.py`` is the
 same-host gate.
@@ -100,6 +105,17 @@ def format_trajectory(old: Dict[str, Any], new: Dict[str, Any],
         lines.append(f"  {row['name']:<24}{old_s:>10}{new_s:>10}"
                      f"{ratio:>8}  {row['verdict']}")
     for doc, path in ((old, old_path), (new, new_path)):
+        kernels = doc.get("kernels")
+        if kernels:
+            flags = ", ".join(
+                f"{k}={v}" for k, v in sorted(kernels.items())
+                if k not in ("numpy", "scipy")
+            )
+            lines.append(
+                f"  kernels [{path}]  numpy {kernels.get('numpy', '?')}, "
+                f"scipy {kernels.get('scipy', '?')}"
+                + (f"  ({flags})" if flags else ""))
+    for doc, path in ((old, old_path), (new, new_path)):
         serve = doc.get("serve")
         if serve and "latency_s_p50" in serve:
             lines.append(
@@ -122,6 +138,10 @@ def main(argv=None) -> int:
                              "(default 1.2)")
     parser.add_argument("--fail-on-regress", action="store_true",
                         help="exit 1 when any shared row regressed")
+    parser.add_argument("--watch", action="append", default=None,
+                        metavar="PREFIX",
+                        help="only diff (and gate on) rows whose names "
+                             "start with PREFIX; repeatable")
     args = parser.parse_args(argv)
     if len(args.artifacts) == 2:
         old_path, new_path = args.artifacts
@@ -134,6 +154,9 @@ def main(argv=None) -> int:
     with open(new_path) as f:
         new = json.load(f)
     rows = diff_timings(old, new, threshold=args.threshold)
+    if args.watch:
+        rows = [r for r in rows
+                if any(r["name"].startswith(p) for p in args.watch)]
     print(format_trajectory(old, new, rows, old_path, new_path))
     regressed = [r["name"] for r in rows if r["verdict"] == "REGRESSED"]
     if regressed and args.fail_on_regress:
