@@ -35,12 +35,21 @@ equality first) and stamps a ``kernels`` section into every artifact:
 the numpy/scipy versions and default ``PerfOptions`` kernel flags the
 snapshot ran under, so cross-machine comparisons state their backends.
 
+PR 8 adds the cluster rows: a mini soak (``--cluster-shards`` /
+``--cluster-jobs``) replays a repeating job mix against an in-process
+``ClusterRouter`` and records the replay wall time, hit rate and the
+cluster-aggregate latency percentiles.  The serve latency percentiles
+(single-server and cluster) are also mirrored into ``timings_s`` under
+a ``serve.`` prefix, so ``tools/bench_trajectory.py --watch serve.``
+tracks the serving trajectory exactly like the ``scale.`` rows.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 7] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--pr 8] [--circuit C880] [--repeats 3] [--jobs 1]
         [--suite] [--procs 4] [--serve-requests 6]
-        [--scaling [1000 5000 20000]]
+        [--scaling [1000 5000 20000]] [--cluster-shards 2]
+        [--cluster-jobs 32]
 """
 
 from __future__ import annotations
@@ -245,6 +254,74 @@ def serve_snapshot(circuit: str = "C880",
     return rows
 
 
+def cluster_snapshot(shards: int = 2, jobs: int = 32,
+                     workers: int = 2) -> Dict[str, object]:
+    """A mini cluster soak: concurrent replay of a repeating job mix.
+
+    Routes ``jobs`` requests (drawn round-robin from a small pool of
+    fast suite circuits, so most repeat) through an in-process
+    :class:`~repro.serve.cluster.ClusterRouter` from ``2 * shards *
+    workers`` client threads, retrying shed answers with their
+    ``retry_after_s`` hint.  Records the replay wall time, the hit
+    rate and the cluster-aggregate ``serve.latency_s`` percentiles —
+    the serving-trajectory numbers ``bench_trajectory.py --watch
+    serve.`` tracks across artifacts.
+    """
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import Client, ClusterConfig, ClusterRouter
+    from repro.serve.jobs import JobSpec
+
+    assert not OBS.enabled
+    pool = [
+        JobSpec.from_dict({"circuit": circuit, "flow": flow,
+                           "mode": "area"})
+        for circuit in ("misex1", "b9", "e64", "duke2")
+        for flow in ("mis", "lily")
+    ]
+    mix = [pool[i % len(pool)] for i in range(jobs)]
+    router = ClusterRouter(ClusterConfig(
+        shards=shards, workers=workers,
+        max_queue_depth=max(4, 2 * workers)))
+    client = Client.wrap(router)
+    try:
+        def run_one(spec):
+            for _ in range(60):
+                envelope = client.submit(spec, timeout=600)
+                if envelope.get("status") != "overloaded":
+                    return envelope
+                time.sleep(min(envelope.get("retry_after_s", 0.1), 2.0))
+            return envelope
+
+        start = perf_counter()
+        with ThreadPoolExecutor(max_workers=2 * shards * workers) as pool_:
+            envelopes = list(pool_.map(run_one, mix))
+        replay_s = perf_counter() - start
+        failed = [e for e in envelopes if not e.get("ok")]
+        if failed:
+            raise RuntimeError(f"cluster row failed: {failed[0]}")
+        stats = client.stats()
+        metrics = client.metrics()
+    finally:
+        router.shutdown()
+    latency = metrics["histograms"].get("serve.latency_s", {})
+    rows: Dict[str, object] = {
+        "shards": shards,
+        "workers_per_shard": workers,
+        "jobs": jobs,
+        "unique": len(pool),
+        "replay_s": round(replay_s, 6),
+        "hit_rate": round(
+            stats["cache"]["hits"] / max(1, stats["counters"]["jobs"]), 4),
+        "shed": stats["counters"].get("shed", 0),
+    }
+    for quantile in ("p50", "p90", "p99"):
+        if latency.get(quantile) is not None:
+            rows[f"latency_{quantile}_s"] = round(latency[quantile], 6)
+    return rows
+
+
 def suite_snapshot(procs: int = 4) -> Dict[str, object]:
     """Time a full Table 1 run sequentially and with a process pool.
 
@@ -297,7 +374,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("out", nargs="?", default=None,
                         help="output path (default BENCH_PR<n>.json)")
-    parser.add_argument("--pr", type=int, default=6,
+    parser.add_argument("--pr", type=int, default=8,
                         help="PR number stamped into the artifact")
     parser.add_argument("--circuit", default="C880")
     parser.add_argument("--repeats", type=int, default=3)
@@ -320,6 +397,14 @@ def main(argv=None) -> int:
                              "gate counts (default sizes with a bare "
                              "flag) and merge its scale.* rows into the "
                              "artifact")
+    parser.add_argument("--cluster-shards", type=int, default=2,
+                        metavar="N",
+                        help="shard count for the cluster soak rows "
+                             "(0 skips the cluster section)")
+    parser.add_argument("--cluster-jobs", type=int, default=32,
+                        metavar="N",
+                        help="jobs replayed through the cluster rows "
+                             "(default 32)")
     args = parser.parse_args(argv)
     out = args.out or f"BENCH_PR{args.pr}.json"
 
@@ -348,6 +433,22 @@ def main(argv=None) -> int:
     if args.serve_requests:
         doc["serve"] = serve_snapshot(args.circuit,
                                       requests=args.serve_requests)
+        # Mirror the serving percentiles into timings_s so
+        # bench_trajectory.py --watch serve. tracks them like any row.
+        for quantile in ("p50", "p90", "p99"):
+            value = doc["serve"].get(f"latency_s_{quantile}")
+            if value is not None:
+                doc["timings_s"][f"serve.latency_{quantile}"] = value
+    if args.cluster_shards:
+        doc["cluster"] = cluster_snapshot(shards=args.cluster_shards,
+                                          jobs=args.cluster_jobs)
+        doc["timings_s"]["serve.cluster_replay"] = \
+            doc["cluster"]["replay_s"]
+        for quantile in ("p50", "p90", "p99"):
+            value = doc["cluster"].get(f"latency_{quantile}_s")
+            if value is not None:
+                doc["timings_s"][f"serve.cluster_latency_{quantile}"] = \
+                    value
     if args.suite:
         doc["suite"] = suite_snapshot(procs=args.procs)
     with open(out, "w") as f:
@@ -362,6 +463,11 @@ def main(argv=None) -> int:
               f"p90 {s['latency_s_p90']:.4f}  "
               f"p99 {s['latency_s_p99']:.4f}  "
               f"({s['latency_s_count']} mapped)")
+    if args.cluster_shards:
+        c = doc["cluster"]
+        print(f"  cluster {c['shards']}-shard replay "
+              f"{c['replay_s']:>8.4f}s  hit rate {c['hit_rate']:.1%}  "
+              f"p99 {c.get('latency_p99_s', 0):.4f}s")
     if args.suite:
         s = doc["suite"]
         print(f"  table1 sequential     {s['table1_seq_s']:>10.4f}s")

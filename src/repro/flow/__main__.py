@@ -67,6 +67,11 @@ def main(argv=None) -> int:
                         help="spill the serve result cache to DIR so "
                              "back-to-back CLI runs share it "
                              "(implies --server)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="shard the serve backend: an N-shard "
+                             "consistent-hash ClusterRouter with a shared "
+                             "spill tier instead of one server (implies "
+                             "--server; --procs workers per shard)")
     parser.add_argument("--naive-perf", action="store_true",
                         help="disable the mapper fast paths (match "
                              "memoization, pattern index, net cache, "
@@ -98,8 +103,10 @@ def main(argv=None) -> int:
         # command's SVG) cannot be assembled across the pool.
         raise SystemExit("--procs is incompatible with --svg/--trace")
     verify = False if args.no_verify else (args.verify_level or True)
-    if args.server_spill:
+    if args.server_spill or args.cluster is not None:
         args.server = True
+    if args.cluster is not None and args.cluster < 1:
+        raise SystemExit("--cluster expects a shard count >= 1")
     if args.server and args.command not in ("table1", "table2"):
         raise SystemExit("--server only applies to table1/table2")
     if args.command in ("table1", "table2"):
@@ -153,12 +160,20 @@ def _tables_served(args, circuits, verify) -> int:
     from repro.serve import Client, ServerConfig
     from repro.serve.driver import run_table1_served, run_table2_served
 
-    config = ServerConfig(workers=max(1, args.procs),
-                          spill_dir=args.server_spill)
+    if args.cluster is not None:
+        from repro.serve.cluster import ClusterConfig, ClusterRouter
+
+        backend = ClusterRouter(ClusterConfig(
+            shards=args.cluster, workers=max(1, args.procs),
+            spill_dir=args.server_spill))
+        client_cm = Client.wrap(backend)
+    else:
+        client_cm = Client.in_process(ServerConfig(
+            workers=max(1, args.procs), spill_dir=args.server_spill))
     if args.profile:
         OBS.enable()
     try:
-        with Client.in_process(config) as client:
+        with client_cm as client:
             if args.command == "table1":
                 rows = run_table1_served(client, circuits, scale=args.scale,
                                          verify=verify)
@@ -174,6 +189,12 @@ def _tables_served(args, circuits, verify) -> int:
                   f"({cache['disk_hits']} from disk), "
                   f"{cache['misses']} misses, "
                   f"{stats['counters']['degraded']} degraded")
+            if "router" in stats:
+                router = stats["router"]
+                print(f"cluster: {router['shards_alive']}/"
+                      f"{router['shards']} shards alive, "
+                      f"{router['routed']} routed, "
+                      f"{router['failovers']} failovers")
             latency = client.metrics().get(
                 "histograms", {}).get("serve.latency_s")
             if latency and latency.get("count"):

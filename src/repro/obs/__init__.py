@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Histogram,
     Metrics,
     merge_histogram_summaries,
+    merge_metrics_snapshots,
     percentile_from_buckets,
 )
 from repro.obs.report import ObsReport, PhaseStat, build_report, merge_reports
@@ -55,6 +56,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "merge_histogram_summaries",
+    "merge_metrics_snapshots",
     "percentile_from_buckets",
     "EventLog",
     "new_request_id",

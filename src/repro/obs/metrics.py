@@ -50,6 +50,7 @@ __all__ = [
     "bucket_value",
     "percentile_from_buckets",
     "merge_histogram_summaries",
+    "merge_metrics_snapshots",
 ]
 
 #: Lower boundary of bucket 0 (1 nanosecond when observing seconds).
@@ -182,6 +183,45 @@ def merge_histogram_summaries(
         for p, key in ((50.0, "p50"), (90.0, "p90"), (99.0, "p99")):
             into[key] = percentile_from_buckets(buckets, count, p, lo, hi)
     return into
+
+
+#: Gauges that aggregate by ``max`` across processes (point-in-time
+#: readings where summing would be meaningless — e.g. uptimes).
+GAUGE_MAX_NAMES = frozenset({"serve.uptime_s"})
+
+
+def merge_metrics_snapshots(snapshots) -> Dict[str, Any]:
+    """Fold several :meth:`Metrics.snapshot`-shaped dicts into one.
+
+    This is the cluster-aggregation primitive: the router scrapes each
+    shard's ``metrics`` snapshot and folds them here.  Counters sum;
+    gauges sum too (queue depths, cache entries — capacities add across
+    shards) except the names in :data:`GAUGE_MAX_NAMES`, which take the
+    max (uptime-style readings); histograms merge *bucket-exactly* via
+    :func:`merge_histogram_summaries`, so the aggregate p50/p90/p99 are
+    computed from the union of every shard's samples, not averaged from
+    per-shard percentiles.  Snapshots with differing instrument sets
+    merge fine — every name folds independently.
+    """
+    merged: Dict[str, Any] = {"counters": {}, "gauges": {},
+                              "histograms": {}}
+    for snap in snapshots:
+        if not snap:
+            continue
+        counters = merged["counters"]
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = merged["gauges"]
+        for name, value in (snap.get("gauges") or {}).items():
+            if name in GAUGE_MAX_NAMES:
+                gauges[name] = max(gauges.get(name, value), value)
+            else:
+                gauges[name] = gauges.get(name, 0) + value
+        histograms = merged["histograms"]
+        for name, summary in (snap.get("histograms") or {}).items():
+            histograms[name] = merge_histogram_summaries(
+                histograms.get(name) or {}, summary)
+    return merged
 
 
 class Counter:

@@ -4,6 +4,13 @@ Default is the stdio JSON-lines protocol (one request per line on
 stdin, one response per line on stdout), which is what
 ``Client.subprocess()`` drives.  ``--socket HOST:PORT`` runs the TCP
 frontend instead (``PORT`` 0 picks a free port and prints it).
+
+``--cluster N`` serves an N-shard :class:`repro.serve.cluster.
+ClusterRouter` instead of a single server — same protocol, same
+frontends; ``--workers``/``--cache-entries``/``--max-queue-depth``
+then apply *per shard* and ``--spill-dir`` becomes the shared warm
+tier (a private temp dir when omitted).  See ``docs/OPERATIONS.md``
+for sizing.
 """
 
 from __future__ import annotations
@@ -22,8 +29,17 @@ def main(argv=None) -> int:
     parser.add_argument("--socket", default=None, metavar="HOST:PORT",
                         help="serve a TCP socket instead of stdio "
                              "(PORT 0 picks a free port)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="serve an N-shard cluster (consistent-hash "
+                             "router) instead of a single server")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        metavar="N",
+                        help="bound jobs in flight (per shard with "
+                             "--cluster); excess submissions answer "
+                             "status=overloaded with retry_after_s")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
-                        help="mapping worker threads (default 2)")
+                        help="mapping worker threads (per shard with "
+                             "--cluster; default 2)")
     parser.add_argument("--cache-entries", type=int, default=128,
                         metavar="N",
                         help="in-memory result-cache LRU bound (default 128)")
@@ -47,16 +63,33 @@ def main(argv=None) -> int:
                         help="in-memory event-log ring bound (default 4096)")
     args = parser.parse_args(argv)
 
-    config = ServerConfig(
-        workers=args.workers,
-        cache_entries=args.cache_entries,
-        spill_dir=args.spill_dir,
-        timeout_s=args.timeout,
-        slow_request_s=args.slow_request,
-        event_ring=args.event_ring,
-        event_stream=args.events,
-    )
-    server = MappingServer(config)
+    if args.cluster is not None:
+        if args.cluster < 1:
+            raise SystemExit("--cluster expects a shard count >= 1")
+        from repro.serve.cluster import ClusterConfig, ClusterRouter
+
+        server = ClusterRouter(ClusterConfig(
+            shards=args.cluster,
+            workers=args.workers,
+            cache_entries=args.cache_entries,
+            spill_dir=args.spill_dir,
+            timeout_s=args.timeout,
+            max_queue_depth=args.max_queue_depth,
+            slow_request_s=args.slow_request,
+            event_ring=args.event_ring,
+        ))
+    else:
+        config = ServerConfig(
+            workers=args.workers,
+            cache_entries=args.cache_entries,
+            spill_dir=args.spill_dir,
+            timeout_s=args.timeout,
+            max_queue_depth=args.max_queue_depth,
+            slow_request_s=args.slow_request,
+            event_ring=args.event_ring,
+            event_stream=args.events,
+        )
+        server = MappingServer(config)
     if args.observe:
         from repro.obs import OBS
 

@@ -1,17 +1,28 @@
-"""Client API: one interface over three transports.
+"""Client API: one interface over three transports, sync or pipelined.
 
 * :meth:`Client.in_process` — wraps a :class:`MappingServer` living in
   this interpreter.  Zero serialisation; the natural choice for library
   users and for ``repro.flow --server``.
 * :meth:`Client.subprocess` — spawns ``python -m repro.serve --stdio``
   and speaks JSON lines over its pipes.  Isolates the mapping workload
-  (memory, GIL) from the caller.
+  (memory, GIL) from the caller.  ``cluster=N`` spawns a whole N-shard
+  cluster behind the same pipe.
 * :meth:`Client.connect` — dials a running socket frontend.
 
-All three expose the same calls (:meth:`map_circuit`, :meth:`map_blif`,
-:meth:`submit`, :meth:`ping`, :meth:`stats`, :meth:`metrics`,
-:meth:`health`, :meth:`events`, :meth:`shutdown`) and all responses are
-the plain envelope dicts of ``repro.serve.server``.
+All three expose the same calls (:meth:`~_ServiceAPI.map_circuit`,
+:meth:`~_ServiceAPI.map_blif`, :meth:`~_ServiceAPI.submit`,
+:meth:`~_ServiceAPI.ping`, :meth:`~_ServiceAPI.stats`,
+:meth:`~_ServiceAPI.metrics`, :meth:`~_ServiceAPI.health`,
+:meth:`~_ServiceAPI.events`, ``shutdown``) and all responses are the
+plain envelope dicts of ``repro.serve.server``.
+
+:class:`AsyncClient` is the pipelined variant: it performs the
+``hello`` handshake of ``repro.serve.protocol``, keeps many requests
+in flight over one connection, and matches out-of-order responses to
+callers by the echoed protocol ``id`` — so N concurrent
+:meth:`AsyncClient.submit_async` calls keep every remote worker busy
+without N sockets.  Against an old (pre-handshake) server it degrades
+gracefully to ordered responses and still works.
 
 Every mapping call carries a ``request_id`` — caller-provided or
 generated client-side — echoed in the response envelope and stamped on
@@ -26,6 +37,7 @@ import os
 import subprocess
 import sys
 import threading
+from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.events import new_request_id
@@ -33,111 +45,62 @@ from repro.serve.jobs import JobSpec
 from repro.serve.protocol import connect_lines, handle_request
 from repro.serve.server import MappingServer, ServerConfig
 
-__all__ = ["Client", "ServeProtocolError"]
+__all__ = ["Client", "AsyncClient", "ServeProtocolError"]
 
 
 class ServeProtocolError(RuntimeError):
     """Raised when a remote frontend closes or answers garbage."""
 
 
-class Client:
-    """A handle on a mapping service (in-process, subprocess or socket)."""
+def _serve_argv(workers: int, cache_entries: int,
+                spill_dir: Optional[str],
+                timeout_s: Optional[float],
+                slow_request_s: Optional[float],
+                event_stream: Optional[str],
+                cluster: Optional[int],
+                max_queue_depth: Optional[int]) -> List[str]:
+    """The ``python -m repro.serve --stdio`` command line for a child."""
+    argv = [sys.executable, "-m", "repro.serve", "--stdio",
+            "--workers", str(workers),
+            "--cache-entries", str(cache_entries)]
+    if cluster is not None:
+        argv += ["--cluster", str(cluster)]
+    if max_queue_depth is not None:
+        argv += ["--max-queue-depth", str(max_queue_depth)]
+    if spill_dir:
+        argv += ["--spill-dir", spill_dir]
+    if timeout_s is not None:
+        argv += ["--timeout", str(timeout_s)]
+    if slow_request_s is not None:
+        argv += ["--slow-request", str(slow_request_s)]
+    if event_stream:
+        argv += ["--events", event_stream]
+    return argv
 
-    def __init__(self, server: Optional[MappingServer] = None) -> None:
-        """Use :meth:`in_process` / :meth:`subprocess` / :meth:`connect`
-        instead of calling this directly."""
-        self._server = server
-        self._proc: Optional[subprocess.Popen] = None
-        self._sock = None
-        self._reader = None
-        self._writer = None
-        self._io_lock = threading.Lock()
-        self._next_id = 0
 
-    # -- constructors -------------------------------------------------------
+def _spawn_serve(argv: List[str]) -> subprocess.Popen:
+    """Spawn a serve child with ``repro`` importable from this tree."""
+    env = dict(os.environ)
+    # Make repro importable in the child even when the parent runs
+    # from a source tree without installation.
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parts = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    if src_root not in parts:
+        env["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
+    return subprocess.Popen(
+        argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        text=True, env=env)
 
-    @classmethod
-    def in_process(cls, config: Optional[ServerConfig] = None,
-                   **kwargs) -> "Client":
-        """A client over a fresh server in this interpreter."""
-        return cls(server=MappingServer(config, **kwargs))
 
-    @classmethod
-    def wrap(cls, server: MappingServer) -> "Client":
-        """A client over an existing in-process server."""
-        return cls(server=server)
-
-    @classmethod
-    def subprocess(cls, workers: int = 2, cache_entries: int = 128,
-                   spill_dir: Optional[str] = None,
-                   timeout_s: Optional[float] = None,
-                   slow_request_s: Optional[float] = None,
-                   event_stream: Optional[str] = None) -> "Client":
-        """Spawn ``python -m repro.serve --stdio`` and connect to it."""
-        client = cls()
-        argv = [sys.executable, "-m", "repro.serve", "--stdio",
-                "--workers", str(workers),
-                "--cache-entries", str(cache_entries)]
-        if spill_dir:
-            argv += ["--spill-dir", spill_dir]
-        if timeout_s is not None:
-            argv += ["--timeout", str(timeout_s)]
-        if slow_request_s is not None:
-            argv += ["--slow-request", str(slow_request_s)]
-        if event_stream:
-            argv += ["--events", event_stream]
-        env = dict(os.environ)
-        # Make repro importable in the child even when the parent runs
-        # from a source tree without installation.
-        src_root = os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))
-        parts = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
-        if src_root not in parts:
-            env["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
-        client._proc = subprocess.Popen(
-            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            text=True, env=env)
-        client._reader = client._proc.stdout
-        client._writer = client._proc.stdin
-        return client
-
-    @classmethod
-    def connect(cls, host: str, port: int, timeout: float = 30.0) -> "Client":
-        """Dial a running socket frontend."""
-        client = cls()
-        client._sock, client._reader, client._writer = connect_lines(
-            host, port, timeout=timeout)
-        return client
-
-    # -- transport ----------------------------------------------------------
+class _ServiceAPI:
+    """The verb surface shared by :class:`Client` and
+    :class:`AsyncClient`; everything funnels through ``self.request``.
+    """
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one protocol request; returns the response dict."""
-        if self._server is not None:
-            return handle_request(self._server, {"op": op, **fields})
-        with self._io_lock:
-            self._next_id += 1
-            rid = self._next_id
-            line = json.dumps({"op": op, "id": rid, **fields},
-                              sort_keys=True)
-            try:
-                self._writer.write(line + "\n")
-                self._writer.flush()
-                raw = self._reader.readline()
-            except (OSError, ValueError) as exc:
-                raise ServeProtocolError(f"transport failed: {exc}")
-        if not raw:
-            raise ServeProtocolError("server closed the connection")
-        try:
-            response = json.loads(raw)
-        except ValueError as exc:
-            raise ServeProtocolError(f"bad response line {raw!r}: {exc}")
-        if response.get("id") not in (None, rid):
-            raise ServeProtocolError(
-                f"response id {response.get('id')!r} != request id {rid}")
-        return response
-
-    # -- API ----------------------------------------------------------------
+        raise NotImplementedError
 
     def submit(self, spec: JobSpec, timeout: Optional[float] = None,
                request_id: Optional[str] = None) -> Dict[str, Any]:
@@ -207,6 +170,96 @@ class Client:
             fields["limit"] = limit
         return self.request("events", **fields).get("events", [])
 
+
+class Client(_ServiceAPI):
+    """A handle on a mapping service (in-process, subprocess or socket)."""
+
+    def __init__(self, server: Optional[MappingServer] = None) -> None:
+        """Use :meth:`in_process` / :meth:`subprocess` / :meth:`connect`
+        instead of calling this directly."""
+        self._server = server
+        self._proc: Optional[subprocess.Popen] = None
+        self._sock = None
+        self._reader = None
+        self._writer = None
+        self._io_lock = threading.Lock()
+        self._next_id = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def in_process(cls, config: Optional[ServerConfig] = None,
+                   **kwargs) -> "Client":
+        """A client over a fresh server in this interpreter."""
+        return cls(server=MappingServer(config, **kwargs))
+
+    @classmethod
+    def wrap(cls, server: MappingServer) -> "Client":
+        """A client over an existing in-process server (or anything
+        duck-typing its surface — a ``ClusterRouter``, say)."""
+        return cls(server=server)
+
+    @classmethod
+    def subprocess(cls, workers: int = 2, cache_entries: int = 128,
+                   spill_dir: Optional[str] = None,
+                   timeout_s: Optional[float] = None,
+                   slow_request_s: Optional[float] = None,
+                   event_stream: Optional[str] = None,
+                   cluster: Optional[int] = None,
+                   max_queue_depth: Optional[int] = None) -> "Client":
+        """Spawn ``python -m repro.serve --stdio`` and connect to it.
+
+        ``cluster=N`` makes the child an N-shard cluster router instead
+        of a single server (``workers``/``cache_entries``/… then apply
+        per shard); ``max_queue_depth`` bounds each queue so overload
+        sheds instead of piling up.
+        """
+        client = cls()
+        client._proc = _spawn_serve(_serve_argv(
+            workers, cache_entries, spill_dir, timeout_s, slow_request_s,
+            event_stream, cluster, max_queue_depth))
+        client._reader = client._proc.stdout
+        client._writer = client._proc.stdin
+        return client
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 30.0) -> "Client":
+        """Dial a running socket frontend."""
+        client = cls()
+        client._sock, client._reader, client._writer = connect_lines(
+            host, port, timeout=timeout)
+        return client
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one protocol request; returns the response dict."""
+        if self._server is not None:
+            return handle_request(self._server, {"op": op, **fields})
+        with self._io_lock:
+            self._next_id += 1
+            rid = self._next_id
+            line = json.dumps({"op": op, "id": rid, **fields},
+                              sort_keys=True)
+            try:
+                self._writer.write(line + "\n")
+                self._writer.flush()
+                raw = self._reader.readline()
+            except (OSError, ValueError) as exc:
+                raise ServeProtocolError(f"transport failed: {exc}")
+        if not raw:
+            raise ServeProtocolError("server closed the connection")
+        try:
+            response = json.loads(raw)
+        except ValueError as exc:
+            raise ServeProtocolError(f"bad response line {raw!r}: {exc}")
+        if response.get("id") not in (None, rid):
+            raise ServeProtocolError(
+                f"response id {response.get('id')!r} != request id {rid}")
+        return response
+
+    # -- lifecycle ----------------------------------------------------------
+
     def shutdown(self) -> None:
         """Stop the service (drains in-process pools, ends subprocesses)."""
         if self._server is not None:
@@ -257,3 +310,213 @@ class Client:
         """Context-manager exit: shutdown and close."""
         self.shutdown()
         self.close()
+
+
+class AsyncClient(_ServiceAPI):
+    """A pipelined client: many requests in flight over one connection.
+
+    On connect it sends ``{"op": "hello", "pipeline": true}``; a
+    current server switches the connection into pipelined mode (see
+    ``repro.serve.protocol``) and answers maps out of order as they
+    finish.  A background reader thread matches every response to its
+    caller by the echoed ``id`` and resolves the corresponding future,
+    so :meth:`submit_async` is safe from any number of threads.  The
+    handshake result is exposed as :attr:`pipelined` / :attr:`width`;
+    against a pre-handshake server both read False/1 and responses
+    simply come back in order — the futures still resolve correctly.
+    """
+
+    def __init__(self) -> None:
+        """Use :meth:`connect` / :meth:`subprocess` instead."""
+        self._proc: Optional[subprocess.Popen] = None
+        self._sock = None
+        self._reader = None
+        self._writer = None
+        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._pending: Dict[int, "Future[Dict[str, Any]]"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_thread: Optional[threading.Thread] = None
+        #: True when the server accepted the pipelining handshake.
+        self.pipelined = False
+        #: Server-advertised useful in-flight depth (1 when ordered).
+        self.width = 1
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float = 30.0) -> "AsyncClient":
+        """Dial a running socket frontend and handshake."""
+        client = cls()
+        client._sock, client._reader, client._writer = connect_lines(
+            host, port, timeout=timeout)
+        client._handshake()
+        return client
+
+    @classmethod
+    def subprocess(cls, workers: int = 2, cache_entries: int = 128,
+                   spill_dir: Optional[str] = None,
+                   timeout_s: Optional[float] = None,
+                   slow_request_s: Optional[float] = None,
+                   event_stream: Optional[str] = None,
+                   cluster: Optional[int] = None,
+                   max_queue_depth: Optional[int] = None) -> "AsyncClient":
+        """Spawn ``python -m repro.serve --stdio``, pipelined.
+
+        Same knobs as :meth:`Client.subprocess`; this is the transport
+        a :class:`repro.serve.cluster.ClusterRouter` uses per shard,
+        because one pipe then carries one request per idle shard
+        worker instead of one request at a time.
+        """
+        client = cls()
+        client._proc = _spawn_serve(_serve_argv(
+            workers, cache_entries, spill_dir, timeout_s, slow_request_s,
+            event_stream, cluster, max_queue_depth))
+        client._reader = client._proc.stdout
+        client._writer = client._proc.stdin
+        client._handshake()
+        return client
+
+    # -- transport ----------------------------------------------------------
+
+    def _handshake(self) -> None:
+        """Negotiate pipelining, then start the response-reader thread."""
+        line = json.dumps({"op": "hello", "id": 0, "pipeline": True},
+                          sort_keys=True)
+        try:
+            self._writer.write(line + "\n")
+            self._writer.flush()
+            raw = self._reader.readline()
+        except (OSError, ValueError) as exc:
+            raise ServeProtocolError(f"handshake transport failed: {exc}")
+        if not raw:
+            raise ServeProtocolError("server closed during handshake")
+        try:
+            response = json.loads(raw)
+        except ValueError as exc:
+            raise ServeProtocolError(f"bad handshake line {raw!r}: {exc}")
+        if response.get("ok") and response.get("pipeline"):
+            self.pipelined = True
+            self.width = max(1, int(response.get("width", 1)))
+        self._reader_thread = threading.Thread(
+            target=self._read_loop, name="serve-async-reader", daemon=True)
+        self._reader_thread.start()
+
+    def _read_loop(self) -> None:
+        try:
+            for raw in self._reader:
+                try:
+                    response = json.loads(raw)
+                except ValueError:
+                    continue
+                if not isinstance(response, dict):
+                    continue
+                with self._lock:
+                    future = self._pending.pop(response.get("id"), None)
+                if future is not None:
+                    future.set_result(response)
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._fail_pending("server closed the connection")
+
+    def _fail_pending(self, reason: str) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(ServeProtocolError(reason))
+
+    def request_async(self, op: str,
+                      **fields: Any) -> "Future[Dict[str, Any]]":
+        """Send one request without waiting; the returned future
+        resolves to the response dict (or raises
+        :class:`ServeProtocolError` if the connection dies first)."""
+        future: "Future[Dict[str, Any]]" = Future()
+        with self._lock:
+            if self._closed:
+                raise ServeProtocolError("client is closed")
+            self._next_id += 1
+            rid = self._next_id
+            self._pending[rid] = future
+        line = json.dumps({"op": op, "id": rid, **fields}, sort_keys=True)
+        try:
+            with self._write_lock:
+                self._writer.write(line + "\n")
+                self._writer.flush()
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                self._pending.pop(rid, None)
+            raise ServeProtocolError(f"transport failed: {exc}")
+        return future
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Blocking convenience over :meth:`request_async`."""
+        return self.request_async(op, **fields).result()
+
+    def submit_async(self, spec: JobSpec, timeout: Optional[float] = None,
+                     request_id: Optional[str] = None
+                     ) -> "Future[Dict[str, Any]]":
+        """Pipeline one job; returns a future of its envelope.
+
+        The generated (or given) ``request_id`` rides in the request,
+        is echoed in the envelope and tags the job's server-side
+        events — the future resolving out of submission order never
+        scrambles which answer belongs to which job.
+        """
+        fields: Dict[str, Any] = {
+            "job": spec.to_dict(),
+            "request_id": request_id or new_request_id(),
+        }
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.request_async("map", **fields)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Ask the service to stop, then release the transport."""
+        try:
+            self.request("shutdown")
+        except ServeProtocolError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        """Release transport resources without a remote shutdown."""
+        with self._lock:
+            self._closed = True
+        for stream in (self._writer, self._reader):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        if self._reader_thread is not None:
+            self._reader_thread.join(timeout=5)
+            self._reader_thread = None
+        self._fail_pending("client closed")
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+            self._proc = None
+
+    def __enter__(self) -> "AsyncClient":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: shutdown and close."""
+        self.shutdown()

@@ -1,0 +1,563 @@
+"""Scale-out serving: a consistent-hash router over MappingServer shards.
+
+A :class:`ClusterRouter` owns N *shards* — each a full
+:class:`~repro.serve.server.MappingServer` with its own worker pool,
+result cache and warm state — and routes every job to one of them by
+consistent-hashing its :func:`route_key` (the netlist/library
+identity, *excluding* flow/mode/options) over a virtual-node
+:class:`HashRing`.  Same netlist, same shard: the shard that parsed a
+circuit once serves every flow/mode variant of it from warm state,
+which is what makes N shards behave like N× capacity instead of N
+cold caches.
+
+The shards share one disk-spill directory, so their
+:class:`~repro.serve.cache.ResultCache` tiers form a cluster-wide warm
+tier: when a shard dies and its keys re-hash to a neighbour, the
+neighbour's first miss falls through to the shared spill and answers
+warm anyway.
+
+Failure and overload semantics (the operator contract, long form in
+``docs/OPERATIONS.md``):
+
+* **dead shard** — a shard answering ``status: "unavailable"`` (or
+  whose transport breaks) is marked down and the job retries on the
+  next shard in the key's ring preference; the ring itself never
+  rebuilds, so surviving keys don't move.  ``serve.cluster.failovers``
+  counts the re-routes.
+* **overload** — shards run bounded queues
+  (``ServerConfig.max_queue_depth``); a shed job answers
+  ``status: "overloaded"`` with ``retry_after_s`` *from its owning
+  shard* and is **not** spilled to a sibling — spreading a hot key
+  would trade one shard's backlog for N cold caches.  Clients back
+  off and retry.
+* **cache hits never shed** — they cost no worker, so a saturated
+  cluster keeps answering its warm traffic.
+
+The router duck-types the ``MappingServer`` surface (``run`` /
+``stats`` / ``metrics_snapshot`` / ``health_snapshot`` / ``events`` /
+``shutdown`` / ``pipeline_width``), so every existing frontend —
+``handle_request``, ``serve_stream``, ``serve_socket``,
+``Client.wrap`` and ``python -m repro.obs.monitor`` — works unchanged
+with a cluster behind it.  Response envelopes additionally carry
+``"shard": <index>``.
+
+Metrics aggregate through
+:func:`repro.obs.metrics.merge_metrics_snapshots`: counters and queue
+gauges sum across shards, latency histograms merge bucket-exactly (the
+cluster p99 is computed from the union of every shard's samples), and
+each shard's histograms are also re-exported under a ``shard<i>.``
+prefix so per-shard and cluster-aggregate percentiles are both
+scrapeable live from the one ``metrics`` verb.
+
+Run one from the CLI with ``python -m repro.serve --cluster 4``
+(stdio or socket frontend), or drive it from ``repro.flow`` with
+``--server --cluster 4``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import EventLog, new_request_id
+from repro.obs.metrics import merge_metrics_snapshots
+from repro.serve.jobs import JobSpec
+from repro.serve.server import MappingServer, ServerConfig
+
+__all__ = ["ClusterRouter", "ClusterConfig", "HashRing", "route_key"]
+
+
+def route_key(spec: JobSpec) -> str:
+    """The shard-affinity key of a job: netlist + library identity.
+
+    Deliberately *narrower* than the result-cache key
+    (:func:`repro.serve.jobs.job_key`): flow, mode and option fields
+    are excluded, so every variant of one netlist+library pair lands
+    on the same shard and shares its warm parse/index state.  Raw-BLIF
+    jobs key on the BLIF content hash, named-suite jobs on the name;
+    ``scale`` is included because scaled clones are distinct netlists.
+    """
+    if spec.circuit:
+        net = f"circuit:{spec.circuit}"
+    else:
+        blif = spec.blif or ""
+        net = "blif:" + hashlib.sha256(blif.encode("utf-8")).hexdigest()
+    genlib = (hashlib.sha256(spec.genlib.encode("utf-8")).hexdigest()[:16]
+              if spec.genlib else "-")
+    return f"{net}|{spec.scale:g}|{spec.library}|{genlib}"
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Each node is hashed to ``replicas`` points on a 64-bit ring; a key
+    maps to the first node point at or after its own hash.  Removing a
+    node deletes only that node's points, so only the keys it owned
+    move (to their next preference) — the property the cluster leans
+    on for shard-death failover.
+    """
+
+    def __init__(self, nodes: List[int], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owner: Dict[int, int] = {}
+        self._nodes: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+    def add(self, node: int) -> None:
+        """Insert a node's virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = self._hash(f"node:{node}:{replica}")
+            self._owner[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: int) -> None:
+        """Delete a node's virtual points; other keys don't move."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        for replica in range(self.replicas):
+            point = self._hash(f"node:{node}:{replica}")
+            if self._owner.get(point) == node:
+                del self._owner[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) \
+                        and self._points[index] == point:
+                    del self._points[index]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_for(self, key: str) -> int:
+        """The owning node of ``key`` (raises on an empty ring)."""
+        preference = self.preference(key, 1)
+        if not preference:
+            raise KeyError("hash ring is empty")
+        return preference[0]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[int]:
+        """Distinct nodes in ring order from ``key``'s hash: the
+        failover sequence (first entry owns the key)."""
+        if not self._points:
+            return []
+        want = len(self._nodes) if count is None else min(
+            count, len(self._nodes))
+        start = bisect.bisect_right(self._points, self._hash(key))
+        order: List[int] = []
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            node = self._owner[point]
+            if node not in order:
+                order.append(node)
+                if len(order) >= want:
+                    break
+        return order
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and per-shard tuning of one cluster.
+
+    Attributes:
+        shards: shard (``MappingServer``) count.
+        workers: worker threads *per shard*.
+        cache_entries: in-memory result-cache bound per shard.
+        spill_dir: the shared disk-spill directory (the cluster-wide
+            warm tier).  ``None``: the router makes a private temp dir
+            so spill sharing works out of the box.
+        timeout_s: default per-job timeout, as in ``ServerConfig``.
+        max_queue_depth: per-shard queue bound; ``None`` disables
+            shedding (not recommended beyond tests — see
+            ``docs/OPERATIONS.md`` for sizing).
+        slow_request_s: per-shard slow-request threshold.
+        replicas: virtual nodes per shard on the hash ring.
+        event_ring: event-log bound for the router *and* each shard.
+    """
+
+    shards: int = 4
+    workers: int = 2
+    cache_entries: int = 128
+    spill_dir: Optional[str] = None
+    timeout_s: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    slow_request_s: float = 5.0
+    replicas: int = 64
+    event_ring: int = 4096
+
+
+class _Shard:
+    """One in-process shard: a ``MappingServer`` plus liveness state."""
+
+    def __init__(self, index: int, server: MappingServer) -> None:
+        self.index = index
+        self.server = server
+        self.alive = True
+
+    def submit(self, spec: JobSpec, timeout: Optional[float],
+               request_id: Optional[str]) -> Dict[str, Any]:
+        """Run one job on this shard; always returns an envelope.
+
+        Job-level exceptions (bad circuit name, parse failure) become
+        ``status: "error"`` envelopes exactly as the wire protocol
+        would answer them — so the router only ever treats *raised*
+        exceptions as transport/shard failures, never as bad jobs.
+        """
+        try:
+            return self.server.run(spec, timeout=timeout,
+                                   request_id=request_id)
+        except Exception as exc:  # noqa: BLE001 — mirror handle_request
+            return {"ok": False, "status": "error",
+                    "request_id": request_id,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    def kill(self) -> None:
+        """Shut this shard's server down *without* telling the router —
+        a simulated crash.  The router discovers it when the next
+        routed job answers ``status: "unavailable"`` and fails over."""
+        self.server.shutdown(wait=False)
+
+
+class _ClusterEvents:
+    """The cluster's ``events`` verb backend: the router's own routing
+    events merged with every live shard's ring, sorted by timestamp —
+    so one ``events`` request still reconstructs a request's full
+    lifecycle even though its records live on two processes' logs.
+    """
+
+    def __init__(self, router: "ClusterRouter", log: EventLog) -> None:
+        self._router = router
+        self.log = log
+
+    def emit(self, kind: str, request_id: Optional[str] = None,
+             **attrs: Any) -> Dict[str, Any]:
+        """Record a router-level event (delegates to the own log)."""
+        return self.log.emit(kind, request_id, **attrs)
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def events(self, request_id: Optional[str] = None,
+               kind: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Merged event records (router + live shards), oldest first;
+        filters as in :meth:`repro.obs.events.EventLog.events`."""
+        records = self.log.events(request_id=request_id, kind=kind)
+        for shard in self._router.shards:
+            if not shard.alive:
+                continue
+            for record in shard.server.events.events(
+                    request_id=request_id, kind=kind):
+                record = dict(record)
+                record["shard"] = shard.index
+                records.append(record)
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("seq", 0)))
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return records
+
+    def close(self) -> None:
+        """Close the router's own log."""
+        self.log.close()
+
+
+class ClusterRouter:
+    """N ``MappingServer`` shards behind one consistent-hash router.
+
+    Duck-types the single-server surface, so anything that serves or
+    scrapes a ``MappingServer`` serves or scrapes a cluster unchanged.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 **kwargs: Any) -> None:
+        """``kwargs`` are :class:`ClusterConfig` field overrides, so
+        ``ClusterRouter(shards=4)`` works without building a config."""
+        if config is None:
+            config = ClusterConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a ClusterConfig or field overrides")
+        if config.shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.config = config
+        self._owns_spill = config.spill_dir is None
+        self.spill_dir = config.spill_dir or tempfile.mkdtemp(
+            prefix="repro-cluster-spill-")
+        self.shards: List[_Shard] = [
+            _Shard(index, MappingServer(ServerConfig(
+                workers=config.workers,
+                cache_entries=config.cache_entries,
+                spill_dir=self.spill_dir,
+                timeout_s=config.timeout_s,
+                max_queue_depth=config.max_queue_depth,
+                slow_request_s=config.slow_request_s,
+                event_ring=config.event_ring,
+            )))
+            for index in range(config.shards)
+        ]
+        self.ring = HashRing(list(range(config.shards)),
+                             replicas=config.replicas)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._started = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "jobs": 0, "routed": 0, "failovers": 0, "shards_lost": 0,
+            "no_capacity": 0,
+        }
+        self.events = _ClusterEvents(self, EventLog(config.event_ring))
+        self.events.emit("cluster.start", shards=config.shards,
+                         workers=config.workers, spill_dir=self.spill_dir)
+
+    # -- routing ------------------------------------------------------------
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def mark_down(self, index: int) -> None:
+        """Take a shard out of rotation (its ring points go away; keys
+        it owned re-hash to their next preference, everyone else's keys
+        stay put)."""
+        shard = self.shards[index]
+        if not shard.alive:
+            return
+        shard.alive = False
+        self.ring.remove(index)
+        self._count("shards_lost")
+        self.events.emit("cluster.shard_down", shard=index,
+                         alive=self.alive_count())
+
+    def alive_count(self) -> int:
+        """Shards currently in rotation."""
+        return sum(1 for shard in self.shards if shard.alive)
+
+    def shard_for(self, spec: JobSpec) -> int:
+        """The index of the shard currently owning ``spec``'s key."""
+        return self.ring.node_for(route_key(spec))
+
+    def run(self, spec: JobSpec, timeout: Optional[float] = None,
+            request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Route one job; returns its envelope, stamped with ``shard``.
+
+        Walks the key's ring preference: the owner first, then — only
+        if the owner turns out dead (``status: "unavailable"`` or a
+        transport failure) — the next shards in order, marking dead
+        ones down as it goes.  Overload does *not* fail over (see the
+        module docstring); the shed envelope returns to the caller
+        with its ``retry_after_s`` intact.
+        """
+        request_id = request_id or new_request_id()
+        self._count("jobs")
+        key = route_key(spec)
+        preference = self.ring.preference(key)
+        for hop, index in enumerate(preference):
+            shard = self.shards[index]
+            if not shard.alive:
+                continue
+            try:
+                envelope = shard.submit(spec, timeout, request_id)
+            except Exception as exc:  # noqa: BLE001 — treat as shard death
+                self.events.emit("cluster.shard_error", request_id,
+                                 shard=index,
+                                 error=f"{type(exc).__name__}: {exc}")
+                self.mark_down(index)
+                self._count("failovers")
+                continue
+            if envelope.get("status") == "unavailable":
+                self.mark_down(index)
+                self._count("failovers")
+                continue
+            envelope = dict(envelope)
+            envelope["shard"] = index
+            self._count("routed")
+            if hop:
+                self.events.emit("cluster.rerouted", request_id,
+                                 shard=index, hops=hop)
+            return envelope
+        self._count("no_capacity")
+        self.events.emit("cluster.no_capacity", request_id)
+        return {
+            "ok": False, "status": "unavailable",
+            "request_id": request_id,
+            "error": "no live shards (cluster has no capacity)",
+        }
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pipeline_width(self) -> int:
+        """Useful in-flight depth of one pipelined connection: enough
+        to keep every live shard's workers busy at once."""
+        alive = max(1, self.alive_count())
+        per_shard = max(1, self.config.workers)
+        width = max(4, 2 * alive * per_shard)
+        if self.config.max_queue_depth is not None:
+            width = max(width, alive * (self.config.max_queue_depth + 1))
+        return width
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster stats in the single-server shape (counters, cache
+        and queue depth sum across shards) plus ``router`` counters and
+        a ``shards`` breakdown — so existing scrapers keep working and
+        cluster-aware ones see the topology."""
+        per_shard = []
+        counters: Dict[str, int] = {}
+        cache: Dict[str, int] = {"entries": 0}
+        queue_depth = 0
+        for shard in self.shards:
+            if not shard.alive:
+                per_shard.append({"shard": shard.index, "alive": False})
+                continue
+            stats = shard.server.stats()
+            queue_depth += stats["queue_depth"]
+            for name, value in stats["counters"].items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in stats["cache"].items():
+                cache[name] = cache.get(name, 0) + value
+            per_shard.append({
+                "shard": shard.index, "alive": True,
+                "queue_depth": stats["queue_depth"],
+                "counters": stats["counters"],
+                "cache": stats["cache"],
+            })
+        return {
+            "workers": self.config.workers * self.alive_count(),
+            "queue_depth": queue_depth,
+            "counters": counters,
+            "cache": cache,
+            "router": {
+                "shards": len(self.shards),
+                "shards_alive": self.alive_count(),
+                **{name: value for name, value in self.counters.items()},
+            },
+            "shards": per_shard,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Cluster metrics, scrapeable exactly like a single server's.
+
+        The aggregate tier (``serve.*``) folds every live shard's
+        snapshot through
+        :func:`~repro.obs.metrics.merge_metrics_snapshots` — summed
+        counters, summed queue gauges, bucket-exact merged latency
+        histograms.  The per-shard tier re-exports each shard's
+        histograms and queue gauge under ``shard<i>.`` so a p99
+        regression can be localised to the shard causing it.  Router
+        health rides along as ``serve.cluster.*``.
+        """
+        snapshots = []
+        per_shard: Dict[str, Any] = {"gauges": {}, "histograms": {}}
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            snap = shard.server.metrics_snapshot()
+            snapshots.append(snap)
+            prefix = f"shard{shard.index}."
+            for name, summary in snap["histograms"].items():
+                per_shard["histograms"][prefix + name] = summary
+            for name in ("serve.queue_depth", "serve.cache.entries"):
+                if name in snap["gauges"]:
+                    per_shard["gauges"][prefix + name] = \
+                        snap["gauges"][name]
+        merged = merge_metrics_snapshots(snapshots)
+        merged["gauges"].update(per_shard["gauges"])
+        merged["histograms"].update(per_shard["histograms"])
+        with self._lock:
+            for name, value in self.counters.items():
+                merged["counters"][f"serve.cluster.{name}"] = value
+        merged["gauges"]["serve.cluster.shards"] = len(self.shards)
+        merged["gauges"]["serve.cluster.shards_alive"] = self.alive_count()
+        merged["gauges"]["serve.uptime_s"] = (
+            time.monotonic() - self._started)
+        return merged
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Cluster liveness: ``ok`` with every shard up, ``degraded``
+        with some down, ``down`` with none left (single-server keys
+        kept so monitors need no special casing)."""
+        alive = self.alive_count()
+        if self._closed or alive == 0:
+            status = "down" if alive == 0 else "shutting_down"
+        elif alive < len(self.shards):
+            status = "degraded"
+        else:
+            status = "ok"
+        totals = {"jobs": 0, "completed": 0, "errors": 0, "timeouts": 0,
+                  "degraded": 0, "shed": 0}
+        queue_depth = 0
+        cache_entries = 0
+        shard_health = []
+        for shard in self.shards:
+            if not shard.alive:
+                shard_health.append({"shard": shard.index,
+                                     "status": "down"})
+                continue
+            health = shard.server.health_snapshot()
+            for name in totals:
+                totals[name] += health.get(name, 0)
+            queue_depth += health["queue_depth"]
+            cache_entries += health["cache_entries"]
+            shard_health.append({
+                "shard": shard.index, "status": health["status"],
+                "queue_depth": health["queue_depth"],
+                "jobs": health["jobs"],
+                "shed": health.get("shed", 0),
+            })
+        return {
+            "status": status,
+            "uptime_s": time.monotonic() - self._started,
+            "workers": self.config.workers * alive,
+            "queue_depth": queue_depth,
+            "shards": len(self.shards),
+            "shards_alive": alive,
+            "max_queue_depth": self.config.max_queue_depth,
+            "cache_entries": cache_entries,
+            "events_buffered": len(self.events),
+            "shard_health": shard_health,
+            **totals,
+        }
+
+    def merged_obs(self):
+        """Every shard's collected per-job profiles folded into one
+        report (``None`` when profiling was off; see
+        ``MappingServer.merged_obs``)."""
+        from repro.obs import merge_reports
+
+        reports = [shard.server.merged_obs() for shard in self.shards]
+        return merge_reports([r for r in reports if r is not None])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop every shard and close the router's event log."""
+        already = self._closed
+        self._closed = True
+        for shard in self.shards:
+            if shard.alive:
+                shard.server.shutdown(wait=wait)
+        if not already:
+            self.events.emit("cluster.shutdown",
+                             jobs=self.counters["jobs"])
+            self.events.close()
+
+    def __enter__(self) -> "ClusterRouter":
+        """Context-manager entry (shuts every shard down on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: drain and close all shards."""
+        self.shutdown()

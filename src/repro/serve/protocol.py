@@ -11,27 +11,51 @@ One request per line, one response per line, UTF-8 JSON.  Requests::
     {"op": "health", "id": 5}
     {"op": "events", "id": 6,              # filters all optional
      "request_id": "req-…", "kind": "job.done", "limit": 100}
-    {"op": "shutdown", "id": 7}
+    {"op": "hello", "id": 7, "pipeline": true}
+    {"op": "shutdown", "id": 8}
 
 Responses echo the request ``id`` and carry either the job envelope
 (``ok``/``status``/``request_id``/``cache_hit``/``degraded``/
 ``result``/``result_sha256``; see ``repro.serve.server``) or
-``{"ok": false, "error": ...}``.  ``map`` requests may carry a caller
-``request_id`` (one is generated otherwise); the id is echoed in the
-envelope and stamped on every event and span the job causes, so a
-follow-up ``events`` request — or one grep over the server's event
-stream — reconstructs that request's lifecycle.  ``metrics`` answers
-the live metrics snapshot as JSON, or as Prometheus exposition text
-(``{"ok": true, "text": …}``) with ``"format": "prometheus"``;
-``health`` is the cheap liveness summary.  Both work on a *running*
-server — no restart, no ``--observe``.  Malformed lines answer an
-error response instead of killing the connection; an unreadable
-*stream* ends that connection only.  ``shutdown`` answers, then stops
-the serving loop (and, over a socket, the whole server).
+``{"ok": false, "error": ...}``.  Overloaded servers answer ``map``
+with ``status: "overloaded"`` plus a ``retry_after_s`` hint; a shut
+down server answers ``status: "unavailable"`` (see
+``docs/OPERATIONS.md`` for the retry contract).  ``map`` requests may
+carry a caller ``request_id`` (one is generated otherwise); the id is
+echoed in the envelope and stamped on every event and span the job
+causes, so a follow-up ``events`` request — or one grep over the
+server's event stream — reconstructs that request's lifecycle.
+``metrics`` answers the live metrics snapshot as JSON, or as
+Prometheus exposition text (``{"ok": true, "text": …}``) with
+``"format": "prometheus"``; ``health`` is the cheap liveness summary.
+Both work on a *running* server — no restart, no ``--observe``.
+Malformed lines answer an error response instead of killing the
+connection; an unreadable *stream* ends that connection only.
+``shutdown`` answers, then stops the serving loop (and, over a
+socket, the whole server).
+
+**Pipelining.**  By default a connection is strictly
+request/response: one line in, one line out, in order.  A client that
+sends ``{"op": "hello", "pipeline": true}`` switches the connection
+into pipelined mode: subsequent ``map`` requests are dispatched to a
+per-connection thread pool (``server.pipeline_width`` wide) and their
+responses come back *as each job finishes* — possibly out of order —
+so the client must match responses to requests by the echoed ``id``.
+Control ops (``stats``/``metrics``/…) still answer inline, which is
+what lets a monitor scrape a connection that has maps in flight.  Old
+servers answer ``hello`` with an unknown-op error and stay ordered;
+clients treat that as "no pipelining" and fall back.  This is how
+:class:`repro.serve.client.AsyncClient` keeps every shard worker busy
+over a single socket.
 
 The socket frontend accepts any number of sequential or concurrent
 connections; all of them share the one server (one warm state, one
-cache), which is the entire point.
+cache), which is the entire point.  Every frontend talks to its
+server only through the duck-typed surface (``run`` / ``stats`` /
+``metrics_snapshot`` / ``health_snapshot`` / ``events`` /
+``shutdown`` / ``pipeline_width``), so a
+:class:`repro.serve.cluster.ClusterRouter` can stand in for a
+:class:`~repro.serve.server.MappingServer` behind any of them.
 """
 
 from __future__ import annotations
@@ -40,6 +64,7 @@ import json
 import socket
 import socketserver
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, TextIO
 
 from repro.serve.jobs import JobError, JobSpec
@@ -65,7 +90,9 @@ def handle_request(server: MappingServer,
     """Dispatch one decoded request dict; always returns a response dict.
 
     The response carries ``shutdown: true`` when the serving loop should
-    stop after sending it.
+    stop after sending it.  ``server`` is duck-typed: anything with the
+    ``MappingServer`` verb surface (a :class:`ClusterRouter`, say)
+    serves equally well.
     """
     if not isinstance(request, dict):
         return {"ok": False, "error": "request must be a JSON object"}
@@ -74,6 +101,12 @@ def handle_request(server: MappingServer,
     try:
         if op == "ping":
             response: Dict[str, Any] = {"ok": True, "status": "pong"}
+        elif op == "hello":
+            response = {
+                "ok": True, "status": "hello",
+                "pipeline": bool(request.get("pipeline")),
+                "width": int(getattr(server, "pipeline_width", 8)),
+            }
         elif op == "stats":
             response = {"ok": True, "stats": server.stats()}
         elif op == "metrics":
@@ -116,26 +149,86 @@ def handle_request(server: MappingServer,
     return response
 
 
+class _LineSession:
+    """One JSON-lines connection's state: ordered by default, pipelined
+    after a ``hello`` handshake.
+
+    Owns the write lock (responses are single lines, never torn) and,
+    once pipelined, the per-connection dispatch pool.  Both the stdio
+    and the socket frontends drive their loop through
+    :meth:`handle_line` so the two stay behaviourally identical.
+    """
+
+    def __init__(self, server: MappingServer, write_line) -> None:
+        self.server = server
+        self._write_line = write_line
+        self._write_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def send(self, response: Dict[str, Any]) -> None:
+        """Serialize and write one response line (thread-safe)."""
+        text = json.dumps(response, sort_keys=True) + "\n"
+        with self._write_lock:
+            self._write_line(text)
+
+    def _dispatch(self, request: Dict[str, Any]) -> None:
+        self.send(handle_request(self.server, request))
+
+    def handle_line(self, line: str) -> bool:
+        """Process one request line; returns True when the serving loop
+        should stop (a ``shutdown`` request was answered)."""
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            self.send({"ok": False, "error": f"bad JSON request: {exc}"})
+            return False
+        pipelined_map = (
+            self._pool is not None and isinstance(request, dict)
+            and request.get("op", "map") == "map"
+        )
+        if pipelined_map:
+            self._pool.submit(self._dispatch, request)
+            return False
+        if (isinstance(request, dict) and request.get("op") == "hello"
+                and request.get("pipeline") and self._pool is None):
+            width = max(1, int(getattr(self.server, "pipeline_width", 8)))
+            self._pool = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="serve-pipe")
+        response = handle_request(self.server, request)
+        if response.get("shutdown") and self._pool is not None:
+            # Flush in-flight map responses before the goodbye line so
+            # a pipelining client never loses answers it already sent
+            # requests for.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.send(response)
+        return bool(response.get("shutdown"))
+
+    def close(self) -> None:
+        """Drain the dispatch pool (no-op for ordered connections)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 def serve_stream(server: MappingServer, inp: TextIO, out: TextIO,
                  shutdown_on_eof: bool = True) -> bool:
     """Serve JSON-lines requests from ``inp`` to ``out`` until EOF or a
     ``shutdown`` request.  Returns True when shutdown was requested."""
-    for line in inp:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except ValueError as exc:
-            request = None
-            response: Dict[str, Any] = {
-                "ok": False, "error": f"bad JSON request: {exc}"}
-        if request is not None:
-            response = handle_request(server, request)
-        out.write(json.dumps(response, sort_keys=True) + "\n")
+    def write_line(text: str) -> None:
+        out.write(text)
         out.flush()
-        if response.get("shutdown"):
-            return True
+
+    session = _LineSession(server, write_line)
+    try:
+        for line in inp:
+            line = line.strip()
+            if not line:
+                continue
+            if session.handle_line(line):
+                return True
+    finally:
+        session.close()
     return shutdown_on_eof
 
 
@@ -144,25 +237,21 @@ class _SocketHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         """Serve this connection until EOF or a shutdown request."""
-        for raw in self.rfile:
-            line = raw.decode("utf-8", errors="replace").strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-            except ValueError as exc:
-                request = None
-                response: Dict[str, Any] = {
-                    "ok": False, "error": f"bad JSON request: {exc}"}
-            if request is not None:
-                response = handle_request(self.server.mapping_server,
-                                          request)
-            self.wfile.write(
-                (json.dumps(response, sort_keys=True) + "\n").encode("utf-8"))
+        def write_line(text: str) -> None:
+            self.wfile.write(text.encode("utf-8"))
             self.wfile.flush()
-            if response.get("shutdown"):
-                self.server.request_shutdown()
-                return
+
+        session = _LineSession(self.server.mapping_server, write_line)
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                if session.handle_line(line):
+                    self.server.request_shutdown()
+                    return
+        finally:
+            session.close()
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):

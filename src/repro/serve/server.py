@@ -67,11 +67,40 @@ from repro.serve.jobs import (
 )
 from repro.serve.state import WarmState, warm_state_for
 
-__all__ = ["MappingServer", "ServerConfig", "JobHandle", "JobCancelled"]
+__all__ = ["MappingServer", "ServerConfig", "JobHandle", "JobCancelled",
+           "ServerOverloaded", "ServerClosed"]
 
 
 class JobCancelled(Exception):
     """Raised inside a worker when its job's cancel token is set."""
+
+
+class ServerClosed(RuntimeError):
+    """Raised by :meth:`MappingServer.submit` after shutdown.
+
+    :meth:`MappingServer.run` (and therefore the wire protocol) turns
+    it into a ``status: "unavailable"`` envelope, which is what lets a
+    cluster router distinguish a *dead shard* from a bad job and
+    re-hash the key instead of failing the request.
+    """
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised by :meth:`MappingServer.submit` when the bounded queue is
+    full (load shedding).
+
+    Carries ``retry_after_s`` — the server's estimate of when capacity
+    frees up — which :meth:`MappingServer.run` copies into the
+    ``status: "overloaded"`` error envelope.  A shed job never starts,
+    so it can never poison the cache.
+    """
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"queue full ({depth} jobs in flight); "
+            f"retry in {retry_after_s:.2f}s")
 
 
 @dataclass(frozen=True)
@@ -93,6 +122,12 @@ class ServerConfig:
         event_ring: in-memory event-log bound (older events drop).
         event_stream: optional JSONL path every event is appended to —
             the durable tier of the event log.
+        max_queue_depth: bound on jobs in flight (queued + running).
+            ``None`` (the default) queues without bound; with a bound,
+            a submission that would exceed it is *shed* — it answers
+            ``status: "overloaded"`` with a ``retry_after_s`` hint
+            instead of queueing (cache hits and single-flight joins
+            are never shed: they cost no worker).
     """
 
     workers: int = 2
@@ -103,6 +138,7 @@ class ServerConfig:
     slow_request_s: float = 5.0
     event_ring: int = 4096
     event_stream: Optional[str] = None
+    max_queue_depth: Optional[int] = None
 
 
 class JobHandle:
@@ -159,7 +195,7 @@ class MappingServer:
         self.stats_counters: Dict[str, int] = {
             "jobs": 0, "completed": 0, "errors": 0, "timeouts": 0,
             "cancelled": 0, "degraded": 0, "inflight_joins": 0,
-            "slow": 0,
+            "slow": 0, "shed": 0,
         }
         self.obs_reports: List[ObsReport] = []
         #: Always-on serve telemetry (latency/queue histograms); the
@@ -179,9 +215,12 @@ class MappingServer:
         job already in flight joins that job instead of re-mapping.
         ``request_id`` (generated when absent) tags every event and
         span this job causes and is echoed in the response envelope.
+        With a ``max_queue_depth`` configured, a submission that would
+        exceed it raises :class:`ServerOverloaded` (cache hits and
+        single-flight joins always go through — they cost no worker).
         """
         if self._closed:
-            raise RuntimeError("server is shut down")
+            raise ServerClosed("server is shut down")
         spec.validate()
         self._count("jobs")
         if OBS.enabled:
@@ -192,6 +231,7 @@ class MappingServer:
 
         cached = self.cache.get(key)
         leader: Optional[JobHandle] = None
+        shed_depth: Optional[int] = None
         with self._lock:
             self._next_id += 1
             handle = JobHandle(self._next_id, key, spec,
@@ -199,8 +239,14 @@ class MappingServer:
             if cached is None:
                 leader = self._inflight.get(key)
                 if leader is None:
-                    self._inflight[key] = handle
-                    self._set_queue_depth_locked()
+                    bound = self.config.max_queue_depth
+                    if bound is not None and len(self._inflight) >= bound:
+                        # Load shedding: the job never enters the
+                        # in-flight table, never starts, never caches.
+                        shed_depth = len(self._inflight)
+                    else:
+                        self._inflight[key] = handle
+                        self._set_queue_depth_locked()
                 else:
                     self.stats_counters["inflight_joins"] += 1
                     self.cache.stats["hits"] += 1
@@ -210,6 +256,15 @@ class MappingServer:
         self.events.emit(
             "job.received", handle.request_id, key=key, flow=spec.flow,
             mode=spec.mode, circuit=spec.circuit or "<blif>")
+        if shed_depth is not None:
+            retry_after = self._retry_after_estimate(shed_depth)
+            self._count("shed")
+            if OBS.enabled:
+                OBS.metrics.counter("serve.shed").inc()
+            self.events.emit("job.shed", handle.request_id, key=key,
+                             queue_depth=shed_depth,
+                             retry_after_s=retry_after)
+            raise ServerOverloaded(shed_depth, retry_after)
         # Resolution happens outside the lock: done-callbacks can fire
         # synchronously and _resolve_follower/_finish re-take it.
         if cached is not None:
@@ -242,6 +297,13 @@ class MappingServer:
         request_id = request_id or new_request_id()
         try:
             handle = self.submit(spec, request_id=request_id)
+        except ServerOverloaded as exc:
+            return {"ok": False, "status": "overloaded",
+                    "retry_after_s": exc.retry_after_s,
+                    "request_id": request_id, "error": str(exc)}
+        except ServerClosed as exc:
+            return {"ok": False, "status": "unavailable",
+                    "request_id": request_id, "error": str(exc)}
         except (JobError, ValueError) as exc:
             self._count("errors")
             self.events.emit("job.rejected", request_id, error=str(exc))
@@ -408,6 +470,32 @@ class MappingServer:
         with self._lock:
             self.stats_counters[stat] += 1
 
+    def _retry_after_estimate(self, depth: int) -> float:
+        """When a shed caller should retry: roughly one queue drain.
+
+        Estimated as the observed p50 mapping latency times the number
+        of worker "waves" the backlog represents, clamped to
+        ``[0.05s, 30s]`` (0.25s stands in for the p50 before any job
+        has completed).
+        """
+        latency = self.metrics.histograms.get("serve.latency_s")
+        p50 = (latency.percentile(50.0)
+               if latency is not None and latency.count else 0.0)
+        if p50 <= 0.0:
+            p50 = 0.25
+        waves = max(1.0, depth / max(1, self.config.workers))
+        return min(30.0, max(0.05, p50 * waves))
+
+    @property
+    def pipeline_width(self) -> int:
+        """Concurrent requests one pipelined protocol connection may
+        dispatch (see ``repro.serve.protocol``): enough to keep every
+        worker busy, with headroom to fill a bounded queue."""
+        width = max(4, 2 * max(1, self.config.workers))
+        if self.config.max_queue_depth is not None:
+            width = max(width, self.config.max_queue_depth + 1)
+        return width
+
     def _observe(self, name: str, value: float) -> None:
         """Record into the always-on server histogram (and mirror the
         global session when profiling is enabled)."""
@@ -498,6 +586,8 @@ class MappingServer:
             "errors": counters["errors"],
             "timeouts": counters["timeouts"],
             "degraded": counters["degraded"],
+            "shed": counters["shed"],
+            "max_queue_depth": self.config.max_queue_depth,
             "cache_entries": len(self.cache),
             "events_buffered": len(self.events),
         }

@@ -1,0 +1,89 @@
+"""merge_metrics_snapshots: the cluster's scrape-aggregation primitive.
+
+Counters sum, gauges sum except the uptime-style names in
+``GAUGE_MAX_NAMES`` (max), histograms merge bucket-exactly so the
+aggregate percentiles come from the union of samples — the properties
+``ClusterRouter.metrics_snapshot`` leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Metrics, merge_metrics_snapshots
+from repro.obs.metrics import GAUGE_MAX_NAMES
+
+
+def _snapshot(counter=0, queue=0.0, uptime=0.0, samples=()):
+    metrics = Metrics()
+    if counter:
+        metrics.counter("serve.jobs").inc(counter)
+    metrics.gauge("serve.queue_depth").set(queue)
+    metrics.gauge("serve.uptime_s").set(uptime)
+    for value in samples:
+        metrics.histogram("serve.latency_s").observe(value)
+    return metrics.snapshot()
+
+
+class TestMergeMetricsSnapshots:
+    def test_counters_sum(self):
+        merged = merge_metrics_snapshots(
+            [_snapshot(counter=3), _snapshot(counter=4)])
+        assert merged["counters"]["serve.jobs"] == 7
+
+    def test_gauges_sum_except_uptime_takes_max(self):
+        assert "serve.uptime_s" in GAUGE_MAX_NAMES
+        merged = merge_metrics_snapshots([
+            _snapshot(queue=2.0, uptime=10.0),
+            _snapshot(queue=3.0, uptime=99.0),
+        ])
+        assert merged["gauges"]["serve.queue_depth"] == 5.0
+        assert merged["gauges"]["serve.uptime_s"] == 99.0
+
+    def test_histograms_merge_union_of_samples(self):
+        lo = _snapshot(samples=[0.01] * 50)
+        hi = _snapshot(samples=[1.0] * 50)
+        merged = merge_metrics_snapshots([lo, hi])
+        latency = merged["histograms"]["serve.latency_s"]
+        assert latency["count"] == 100
+        assert latency["min"] == pytest.approx(0.01)
+        assert latency["max"] == pytest.approx(1.0)
+        # The p50 sits at the seam of the two shard distributions and
+        # the p99 in the slow shard's bucket — union semantics, not an
+        # average of per-shard percentiles.
+        assert latency["p50"] < 1.0
+        assert latency["p99"] == pytest.approx(1.0, rel=0.15)
+
+    def test_merge_matches_single_histogram_of_all_samples(self):
+        import random
+
+        rng = random.Random(8)
+        all_samples = [rng.uniform(0.001, 2.0) for _ in range(300)]
+        parts = [all_samples[0:100], all_samples[100:200],
+                 all_samples[200:300]]
+        merged = merge_metrics_snapshots(
+            [_snapshot(samples=part) for part in parts])
+        reference = _snapshot(samples=all_samples)
+        merged_latency = merged["histograms"]["serve.latency_s"]
+        reference_latency = reference["histograms"]["serve.latency_s"]
+        assert merged_latency["count"] == reference_latency["count"]
+        assert merged_latency["buckets"] == reference_latency["buckets"]
+        for quantile in ("p50", "p90", "p99"):
+            assert merged_latency[quantile] == pytest.approx(
+                reference_latency[quantile])
+
+    def test_empty_and_missing_sections_tolerated(self):
+        merged = merge_metrics_snapshots(
+            [None, {}, {"counters": {"a": 1}}, _snapshot(counter=1)])
+        assert merged["counters"]["a"] == 1
+        assert merged["counters"]["serve.jobs"] == 1
+
+    def test_disjoint_instruments_fold_independently(self):
+        left = Metrics()
+        left.counter("only.left").inc(2)
+        right = Metrics()
+        right.histogram("only.right").observe(0.5)
+        merged = merge_metrics_snapshots(
+            [left.snapshot(), right.snapshot()])
+        assert merged["counters"]["only.left"] == 2
+        assert merged["histograms"]["only.right"]["count"] == 1

@@ -65,6 +65,7 @@ class TestRepositoryPasses:
         assert (REPO_ROOT / "docs" / "FORMATS.md").is_file()
         assert (REPO_ROOT / "docs" / "SERVING.md").is_file()
         assert (REPO_ROOT / "docs" / "OBSERVING.md").is_file()
+        assert (REPO_ROOT / "docs" / "OPERATIONS.md").is_file()
         assert (REPO_ROOT / "docs" / "SCALING.md").is_file()
 
     def test_readme_and_docs_links(self, check_links, capsys):

@@ -1,23 +1,27 @@
-"""CI smoke for the mapping service.
+"""CI smoke for the mapping service — single-server or cluster.
 
-Spawns ``python -m repro.serve --stdio`` as a subprocess, submits the
-same job twice, and asserts that the second answer is a bit-identical
-cache hit.  Then scrapes the live telemetry over the same connection:
-the ``metrics`` verb must answer a non-empty ``serve.latency_s``
-histogram (p50/p99 > 0) with cache counters matching ``stats``, the
-Prometheus rendering must carry the bucket series, ``health`` must be
-ok, and the first job's ``request_id`` must appear on every event of
-its lifecycle.  Exercises the whole serve stack end to end: spec
-validation, the JSON-lines transport, warm state, the result cache,
-request tracing, live exposition and graceful shutdown.
+Spawns ``python -m repro.serve --stdio`` as a subprocess (with
+``--cluster N``, an N-shard consistent-hash router behind the same
+pipe), submits the same job twice, and asserts that the second answer
+is a bit-identical cache hit.  Then scrapes the live telemetry over
+the same connection: the ``metrics`` verb must answer a non-empty
+``serve.latency_s`` histogram (p50/p99 > 0) with cache counters
+matching ``stats``, the Prometheus rendering must carry the bucket
+series, ``health`` must be ok, and the first job's ``request_id`` must
+appear on every event of its lifecycle.  The checks are identical in
+both modes — that is the point: a cluster serves the exact protocol a
+single server does (cluster envelopes additionally carry the
+answering ``shard``, which is asserted too).
 
 Run from the repo root::
 
     PYTHONPATH=src python tools/serve_smoke.py [circuit]
+    PYTHONPATH=src python tools/serve_smoke.py --cluster 2 [circuit]
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 
@@ -29,9 +33,18 @@ def fail(message: str) -> "int":
 def main(argv) -> int:
     from repro.serve import Client
 
-    circuit = argv[1] if len(argv) > 1 else "misex1"
+    parser = argparse.ArgumentParser(prog="serve_smoke")
+    parser.add_argument("circuit", nargs="?", default="misex1",
+                        help="suite circuit to map (default misex1)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="smoke an N-shard cluster instead of a "
+                             "single server")
+    args = parser.parse_args(argv[1:])
+
+    circuit = args.circuit
     trace_id = "req-smoke0000001"
-    client = Client.subprocess(workers=1)
+    mode = f"cluster[{args.cluster}]" if args.cluster else "single"
+    client = Client.subprocess(workers=1, cluster=args.cluster)
     try:
         if not client.ping():
             return fail("server did not answer ping")
@@ -44,6 +57,8 @@ def main(argv) -> int:
         if first.get("request_id") != trace_id:
             return fail(f"envelope lost the request id: "
                         f"{first.get('request_id')!r}")
+        if args.cluster and "shard" not in first:
+            return fail("cluster envelope lacks the answering shard")
         second = client.map_circuit(circuit, flow="lily", mode="area",
                                     timeout=600)
         if not second.get("ok"):
@@ -52,6 +67,9 @@ def main(argv) -> int:
             return fail("second identical job must be a cache hit")
         if second["result_sha256"] != first["result_sha256"]:
             return fail("cache hit changed the result payload")
+        if args.cluster and second.get("shard") != first.get("shard"):
+            return fail(f"identical jobs routed to different shards: "
+                        f"{first.get('shard')} vs {second.get('shard')}")
         stats = client.stats()
         hits = stats.get("cache", {}).get("hits")
         if hits != 1:
@@ -67,6 +85,18 @@ def main(argv) -> int:
         counted = metrics.get("counters", {}).get("serve.cache.hits")
         if counted != hits:
             return fail(f"metrics cache hits {counted} != stats {hits}")
+        if args.cluster:
+            alive = metrics.get("gauges", {}).get(
+                "serve.cluster.shards_alive")
+            if alive != args.cluster:
+                return fail(f"expected {args.cluster} live shards, "
+                            f"metrics say {alive}")
+            shard = first["shard"]
+            per_shard = metrics.get("histograms", {}).get(
+                f"shard{shard}.serve.latency_s", {})
+            if not per_shard.get("count"):
+                return fail(f"shard{shard} latency histogram is empty "
+                            f"after it answered a job")
         health = client.health()
         if health.get("status") != "ok":
             return fail(f"health is not ok: {health}")
@@ -82,7 +112,7 @@ def main(argv) -> int:
             return fail("an event in the trace carries a foreign id")
     finally:
         client.shutdown()
-    print(f"serve smoke ok: {circuit} mapped once, answered twice "
+    print(f"serve smoke ok ({mode}): {circuit} mapped once, answered twice "
           f"(gates={first['result']['num_gates']}, "
           f"sha={first['result_sha256'][:12]}, "
           f"latency p50={latency['p50']:.4f}s, "
