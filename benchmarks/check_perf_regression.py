@@ -27,16 +27,23 @@ import sys
 from perf_snapshot import snapshot
 
 #: Components the regression gate watches: the mapping hot path (PR 2),
-#: the incremental layout/timing engines (PR 4), and the struct-of-arrays
-#: scaling rows (PR 7).  Only rows present in the chosen baseline are
-#: compared, so older baselines keep working.
+#: the incremental layout/timing engines (PR 4), the struct-of-arrays
+#: scaling rows (PR 7) and the generator-backed routing/STA rows
+#: (PR 9, suffixed with their gate count so any baseline size keeps
+#: comparing like for like).  Only rows present in the chosen baseline
+#: are compared, so older baselines keep working.
 WATCHED = ("lily_map", "mis_map", "anneal", "detailed_improve",
            "sta_moves", "scale.hpwl", "scale.anneal_cost",
-           "scale.sta_full")
+           "scale.sta_full", "scale.route.wirelength_10000",
+           "scale.route.spanning_10000", "scale.synth.sta_moves_10000")
 
 #: Gate counts re-run for the ``scale.*`` rows when the baseline has
 #: them (the canonical rows come from the largest size).
 SCALE_GATES = [1000, 5000, 20000]
+#: Rent's-rule circuit sizes re-run for the generator-backed
+#: ``scale.synth.*`` / ``scale.route.*`` rows (kept CI-sized; the
+#: watched rows carry the size suffix).
+SYNTH_GATES = [10000]
 
 
 def newest_baseline() -> str:
@@ -67,25 +74,36 @@ def main(argv=None) -> int:
         baseline = json.load(f)
     base_timings = baseline["timings_s"]
 
-    fresh = snapshot(baseline["circuit"], args.repeats)
-    if any(name.startswith("scale.") for name in base_timings):
+    circuit = baseline.get("circuit", "C880")
+    fresh = snapshot(circuit, args.repeats)
+    legacy = any(
+        name.startswith("scale.") and not name.startswith(
+            ("scale.synth.", "scale.route."))
+        for name in base_timings)
+    synth = any(name.startswith(("scale.synth.", "scale.route."))
+                for name in base_timings)
+    if legacy or synth:
         from scaling import scaling_rows
 
-        fresh.update(scaling_rows(SCALE_GATES, repeats=args.repeats)[0])
+        fresh.update(scaling_rows(
+            SCALE_GATES if legacy else [],
+            repeats=args.repeats,
+            synth_sizes=SYNTH_GATES if synth else None,
+        )[0])
     failed = False
-    print(f"baseline {baseline_path} (pr {baseline['pr']}, "
-          f"circuit {baseline['circuit']})")
+    print(f"baseline {baseline_path} (pr {baseline.get('pr', '?')}, "
+          f"circuit {circuit})")
     for name in WATCHED:
         if name not in base_timings:
-            print(f"  {name:<20}missing from baseline, skipped")
+            print(f"  {name:<30}missing from baseline, skipped")
             continue
         if name not in fresh:
-            print(f"  {name:<20}missing from fresh run, skipped")
+            print(f"  {name:<30}missing from fresh run, skipped")
             continue
         ratio = fresh[name] / base_timings[name]
         verdict = "ok" if ratio <= args.slack else "REGRESSED"
         failed = failed or ratio > args.slack
-        print(f"  {name:<20}{base_timings[name]:>9.4f}s -> "
+        print(f"  {name:<30}{base_timings[name]:>9.4f}s -> "
               f"{fresh[name]:>9.4f}s  x{ratio:<6.2f}{verdict}")
     if failed:
         print(f"FAIL: a watched component exceeded {args.slack}x baseline")

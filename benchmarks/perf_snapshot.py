@@ -43,13 +43,19 @@ cluster-aggregate latency percentiles.  The serve latency percentiles
 a ``serve.`` prefix, so ``tools/bench_trajectory.py --watch serve.``
 tracks the serving trajectory exactly like the ``scale.`` rows.
 
+PR 9 adds ``--synth-scaling``: generator-backed ``scale.synth.*`` and
+``scale.route.*`` rows from Rent's-rule circuits
+(``repro.circuits.synth``) at the requested gate counts, alongside the
+curated-circuit tilings ``--scaling`` drives.  ``--max-gates`` raises
+the accident guard for the 1M-gate opt-in.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 8] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--pr 9] [--circuit C880] [--repeats 3] [--jobs 1]
         [--suite] [--procs 4] [--serve-requests 6]
-        [--scaling [1000 5000 20000]] [--cluster-shards 2]
-        [--cluster-jobs 32]
+        [--scaling [1000 5000 20000]] [--synth-scaling 10000 100000]
+        [--max-gates 200000] [--cluster-shards 2] [--cluster-jobs 32]
 """
 
 from __future__ import annotations
@@ -397,6 +403,15 @@ def main(argv=None) -> int:
                              "gate counts (default sizes with a bare "
                              "flag) and merge its scale.* rows into the "
                              "artifact")
+    parser.add_argument("--synth-scaling", type=int, nargs="+",
+                        default=None, metavar="GATES",
+                        help="also run the generator-backed scale.synth.* "
+                             "and scale.route.* rows at these Rent's-rule "
+                             "circuit sizes")
+    parser.add_argument("--max-gates", type=int, default=None,
+                        metavar="N",
+                        help="raise the scaling accident guard (forwarded "
+                             "to scaling_rows for 1M-gate opt-ins)")
     parser.add_argument("--cluster-shards", type=int, default=2,
                         metavar="N",
                         help="shard count for the cluster soak rows "
@@ -411,11 +426,22 @@ def main(argv=None) -> int:
     from repro.perf.vec import kernel_backend_info
 
     timings = snapshot(args.circuit, args.repeats, jobs=args.jobs)
-    if args.scaling is not None:
-        from scaling import scaling_rows
+    scale_sizes = None
+    if args.scaling is not None or args.synth_scaling is not None:
+        from scaling import DEFAULT_MAX_GATES, scaling_rows
 
+        kwargs = {}
+        if args.max_gates is not None:
+            kwargs["max_gates"] = args.max_gates
+        elif args.synth_scaling:
+            kwargs["max_gates"] = max(
+                DEFAULT_MAX_GATES, *args.synth_scaling)
         scale_timings, scale_sizes = scaling_rows(
-            args.scaling or [1000, 5000, 20000], repeats=args.repeats
+            (args.scaling or [1000, 5000, 20000])
+            if args.scaling is not None else [],
+            repeats=args.repeats,
+            synth_sizes=args.synth_scaling,
+            **kwargs,
         )
         timings.update(scale_timings)
     doc = {
@@ -428,7 +454,7 @@ def main(argv=None) -> int:
         "kernels": kernel_backend_info(),
         "timings_s": {k: round(v, 6) for k, v in sorted(timings.items())},
     }
-    if args.scaling is not None:
+    if scale_sizes is not None:
         doc["scaling_sizes"] = scale_sizes
     if args.serve_requests:
         doc["serve"] = serve_snapshot(args.circuit,

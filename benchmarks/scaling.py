@@ -22,18 +22,43 @@ kernels on and off:
   :class:`~repro.timing.incremental.IncrementalTiming` holds it) vs
   :func:`repro.timing.sta.analyze`.
 
+``--synth-gates`` adds generator-backed sizes: Rent's-rule circuits
+from :func:`repro.circuits.synth.synth_network` (deterministic per
+seed, realistic fanout tails) pushed through the same identity-map and
+placement pipeline, which is how the 100k–1M-gate rows are produced
+without multi-hour mapping runs.  Each synth size times:
+
+* ``scale.synth.build`` — raw generator throughput (netlist object
+  construction included);
+* ``scale.route.wirelength`` / ``scale.route.spanning`` — the
+  vectorized netlist wirelength folds of
+  :func:`repro.route.wirelength.netlist_wirelength` (Chung–Hwang
+  Steiner model and the batched Prim spanning kernel) vs the per-net
+  Python estimators (``*_naive``);
+* ``scale.synth.sta_moves`` — a seeded gate-move sweep through the
+  level-batched incremental-STA frontier
+  (:class:`~repro.timing.incremental.IncrementalTiming` with
+  ``vec=True``) vs the per-node reference engine, required times
+  included.
+
 Every timed pair is also *checked*: the bench asserts bitwise equality
 of the two engines' results before recording a row, so a committed
 ``BENCH_*.json`` proves speed and exactness together.  Row names carry
-the gate-count suffix (``scale.hpwl_20000``); the largest size also
-writes the canonical unsuffixed rows that
+the gate-count suffix (``scale.hpwl_20000``); the largest size (per
+family) also writes the canonical unsuffixed rows that
 ``benchmarks/check_perf_regression.py`` and ``tools/bench_trajectory.py``
-watch.
+watch.  Per-size metadata records the process peak RSS after the
+size's rows, so memory growth is tracked next to wall time.
+
+Sizes above ``--max-gates`` (default 200k) are refused with a loud
+error: the 1M-gate run is opt-in (``--max-gates 1000000``), not a
+typo-reachable default.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/scaling.py [out.json]
-        [--gates 1000 5000 20000] [--repeats 3] [--quick] [--pr 7]
+        [--gates 1000 5000 20000] [--synth-gates 10000 100000]
+        [--max-gates 200000] [--repeats 3] [--quick] [--pr 9]
 """
 
 from __future__ import annotations
@@ -42,13 +67,16 @@ import argparse
 import copy
 import json
 import platform
+import random
 import sys
 from time import perf_counter
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.area.estimate import mapped_image
 from repro.circuits.random_logic import random_network
+from repro.circuits.synth import synth_network
 from repro.flow.pipeline import pads_from_order
+from repro.geometry import Point
 from repro.library.standard import big_library
 from repro.map.netlist import MappedNetwork
 from repro.network.decompose import decompose_to_subject
@@ -61,6 +89,24 @@ SCALE_SEED = 1991
 
 #: The annealing row is move-scoring-bound, not fold-bound; cap its size.
 ANNEAL_MAX_CELLS = 5000
+
+#: Sizes above this are refused unless the guard is raised explicitly.
+DEFAULT_MAX_GATES = 200_000
+
+#: Moves in the incremental-STA sweep row (fixed: rows must compare).
+STA_SWEEP_MOVES = 120
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """Process peak RSS in MB (``None`` where rusage is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there, KB on Linux
+        peak //= 1024
+    return round(peak / 1024.0, 1)
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -226,17 +272,155 @@ def _sta_rows(mapped, repeats: int) -> Dict[str, float]:
     }
 
 
+def build_synth_circuit(gates: int, seed: int = SCALE_SEED):
+    """A placed identity-mapped Rent's-rule circuit of ``gates`` gates.
+
+    Same downstream pipeline as :func:`build_scaling_circuit`, but the
+    netlist comes from :func:`repro.circuits.synth.synth_network` — the
+    generator's heavy-tailed fanout and Rent-exponent locality give the
+    routing/STA rows realistic net statistics at sizes the curated
+    suite cannot reach.
+    """
+    net = synth_network(gates, seed=seed)
+    subject = decompose_to_subject(net)
+    mapped = identity_map(subject, big_library())
+    region = mapped_image(mapped.total_cell_area())
+    order = sorted(
+        n.name for n in mapped.primary_inputs + mapped.primary_outputs
+    )
+    pads = pads_from_order(order, region)
+    netlist = mapped_netlist(mapped, pads)
+    seed_positions = {
+        name: region.center for name in netlist.movables
+    }
+    placement = detailed_place(netlist, seed_positions,
+                               improvement_passes=0)
+    for node in mapped.nodes:
+        p = placement.positions.get(node.name) or pads.get(node.name)
+        if p is not None:
+            node.position = p
+    return mapped, netlist, placement, region
+
+
+def _route_rows(netlist, placement, repeats: int) -> Dict[str, float]:
+    from repro.perf.vec import PinTable
+    from repro.route.wirelength import (
+        netlist_wirelength,
+        netlist_wirelength_naive,
+    )
+
+    nets = netlist.nets
+    positions = placement.positions
+    fixed = netlist.fixed
+    table = PinTable(nets, positions, fixed)
+    rows: Dict[str, float] = {}
+    for model, key in (("steiner", "wirelength"), ("spanning", "spanning")):
+        def vec_fold(model=model):
+            table.refresh(positions)
+            return netlist_wirelength(nets, positions, fixed,
+                                      model=model, table=table)
+
+        def naive_fold(model=model):
+            return netlist_wirelength_naive(nets, positions, fixed,
+                                            model=model)
+
+        got = vec_fold()
+        want = naive_fold()
+        if got != want:
+            raise AssertionError(
+                f"{model} wirelength kernels diverge: vec={got!r} "
+                f"naive={want!r}")
+        rows[f"scale.route.{key}"] = _best_of(vec_fold, repeats)
+        rows[f"scale.route.{key}_naive"] = _best_of(naive_fold, repeats)
+    return rows
+
+
+def _sta_move_rows(mapped, repeats: int,
+                   num_moves: int = STA_SWEEP_MOVES) -> Dict[str, float]:
+    """The incremental-STA frontier vs the per-node engine over one
+    seeded move sequence (reports and required times compared bitwise
+    before any timing; positions restored afterwards)."""
+    from repro.timing.incremental import IncrementalTiming
+
+    wire_model = WireCapModel()
+    gates = sorted(g.name for g in mapped.gates)
+    saved = {n.name: n.position for n in mapped.nodes}
+    rng = random.Random(4207)
+    sequence = [
+        (gates[rng.randrange(len(gates))],
+         rng.uniform(-8.0, 8.0), rng.uniform(-8.0, 8.0))
+        for _ in range(num_moves)
+    ]
+
+    def restore():
+        for name, pos in saved.items():
+            mapped[name].position = pos
+
+    def sweep(engine):
+        for name, dx, dy in sequence:
+            p = mapped[name].position
+            engine.set_position(name, Point(p.x + dx, p.y + dy))
+            engine.update()
+        return engine.required()
+
+    def fresh_engine(vec: bool):
+        restore()
+        return IncrementalTiming(mapped, wire_model=wire_model, vec=vec)
+
+    e_vec = fresh_engine(True)
+    req_vec = sweep(e_vec)
+    rep_vec = e_vec.report
+    e_ref = fresh_engine(False)
+    req_ref = sweep(e_ref)
+    rep_ref = e_ref.report
+    if (rep_vec.arrivals != rep_ref.arrivals
+            or rep_vec.loads != rep_ref.loads
+            or rep_vec.critical_delay != rep_ref.critical_delay
+            or rep_vec.critical_po != rep_ref.critical_po
+            or req_vec != req_ref):
+        restore()
+        raise AssertionError("incremental-STA frontier engines diverge "
+                             "over the move sweep")
+
+    def timed(vec: bool) -> float:
+        engine = fresh_engine(vec)  # construction outside the clock
+        start = perf_counter()
+        sweep(engine)
+        return perf_counter() - start
+
+    rows = {
+        "scale.synth.sta_moves": min(timed(True) for _ in range(repeats)),
+        "scale.synth.sta_moves_naive": min(
+            timed(False) for _ in range(repeats)),
+    }
+    restore()
+    return rows
+
+
 def scaling_rows(
-    gate_sizes: List[int], repeats: int = 3
+    gate_sizes: List[int],
+    repeats: int = 3,
+    synth_sizes: Optional[List[int]] = None,
+    max_gates: int = DEFAULT_MAX_GATES,
 ) -> Tuple[Dict[str, float], Dict[str, object]]:
     """Timing rows (and circuit metadata) for every requested size.
 
-    The largest size also writes the canonical unsuffixed rows the
-    regression gates watch.
+    ``gate_sizes`` drive the curated random-logic rows, ``synth_sizes``
+    the generator-backed ``scale.synth.*`` / ``scale.route.*`` rows.
+    The largest size of each family also writes the canonical
+    unsuffixed rows the regression gates watch.  Any size above
+    ``max_gates`` aborts loudly — raising the guard is an explicit
+    opt-in for the 1M-gate runs.
     """
+    synth_sizes = list(synth_sizes or [])
+    over = [g for g in list(gate_sizes) + synth_sizes if g > max_gates]
+    if over:
+        raise SystemExit(
+            f"refusing to build {max(over)} gates (guard: {max_gates}); "
+            f"pass --max-gates {max(over)} to opt in to runs this large")
     timings: Dict[str, float] = {}
     sizes: Dict[str, object] = {}
-    largest = max(gate_sizes)
+    largest = max(gate_sizes) if gate_sizes else None
     for gates in gate_sizes:
         mapped, netlist, placement, region = build_scaling_circuit(gates)
         rows: Dict[str, float] = {}
@@ -250,10 +434,30 @@ def scaling_rows(
             "gates": len(mapped.gates),
             "nets": len(netlist.nets),
             "pins": sum(len(net) for net in netlist.nets),
+            "peak_rss_mb": _peak_rss_mb(),
         }
         for name, seconds in rows.items():
             timings[f"{name}_{gates}"] = seconds
             if gates == largest:
+                timings[name] = seconds
+    largest_synth = max(synth_sizes) if synth_sizes else None
+    for gates in synth_sizes:
+        rows = {
+            "scale.synth.build": _best_of(
+                lambda: synth_network(gates, seed=SCALE_SEED), repeats),
+        }
+        mapped, netlist, placement, _region = build_synth_circuit(gates)
+        rows.update(_route_rows(netlist, placement, repeats))
+        rows.update(_sta_move_rows(mapped, repeats))
+        sizes[f"synth{gates}"] = {
+            "gates": len(mapped.gates),
+            "nets": len(netlist.nets),
+            "pins": sum(len(net) for net in netlist.nets),
+            "peak_rss_mb": _peak_rss_mb(),
+        }
+        for name, seconds in rows.items():
+            timings[f"{name}_{gates}"] = seconds
+            if gates == largest_synth:
                 timings[name] = seconds
     return timings, sizes
 
@@ -266,6 +470,16 @@ def main(argv=None) -> int:
                         default=[1000, 5000, 20000],
                         help="target gate counts (default 1000 5000 "
                              "20000)")
+    parser.add_argument("--synth-gates", type=int, nargs="+", default=[],
+                        metavar="GATES",
+                        help="generator-backed sizes for the "
+                             "scale.synth.* / scale.route.* rows "
+                             "(e.g. 10000 100000)")
+    parser.add_argument("--max-gates", type=int,
+                        default=DEFAULT_MAX_GATES,
+                        help="refuse sizes above this (default "
+                             f"{DEFAULT_MAX_GATES}); raise explicitly "
+                             "for 1M-gate runs")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--quick", action="store_true",
                         help="single repeat, skip the annealing rows "
@@ -280,7 +494,9 @@ def main(argv=None) -> int:
 
     from repro.perf.vec import kernel_backend_info
 
-    timings, sizes = scaling_rows(args.gates, repeats=repeats)
+    timings, sizes = scaling_rows(args.gates, repeats=repeats,
+                                  synth_sizes=args.synth_gates,
+                                  max_gates=args.max_gates)
     doc = {
         "pr": args.pr,
         "seed": SCALE_SEED,
@@ -306,6 +522,11 @@ def main(argv=None) -> int:
         twin = timings.get(naive)
         speed = f"  x{twin / timings[name]:.2f}" if twin else ""
         print(f"  {name:<28}{timings[name]:>10.4f}s{speed}")
+    for key, meta in sizes.items():
+        rss = meta.get("peak_rss_mb")
+        rss_s = f"  peak_rss {rss:.0f}MB" if rss is not None else ""
+        print(f"  [{key}] gates={meta['gates']} nets={meta['nets']} "
+              f"pins={meta['pins']}{rss_s}")
     return 0
 
 

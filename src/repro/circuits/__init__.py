@@ -24,6 +24,14 @@ from repro.circuits.suite import (
     TABLE2_CIRCUITS,
     build_circuit,
 )
+from repro.circuits.synth import (
+    synth_network,
+    synth_blif,
+    parse_synth_spec,
+    measure_rent_exponent,
+    synth_stats,
+    RentFit,
+)
 
 __all__ = [
     "ripple_carry_adder",
@@ -42,4 +50,10 @@ __all__ = [
     "TABLE1_CIRCUITS",
     "TABLE2_CIRCUITS",
     "build_circuit",
+    "synth_network",
+    "synth_blif",
+    "parse_synth_spec",
+    "measure_rent_exponent",
+    "synth_stats",
+    "RentFit",
 ]

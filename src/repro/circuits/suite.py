@@ -84,7 +84,18 @@ def build_circuit(name: str, scale: float = 1.0) -> Network:
     ``scale`` multiplies the internal node budget; I/O counts are scaled
     too (by ``sqrt(scale)``, floor 4) only for circuits with more than 60
     terminals, so small circuits keep their exact profiles.
+
+    Names of the form ``synth:SEED:GATES`` build a Rent's-rule synthetic
+    workload via :func:`repro.circuits.synth.synth_network` instead
+    (``scale`` multiplies the gate count), so every consumer of suite
+    names — the flow CLI, the serve protocol, the soak tools — can run
+    generator traffic without new plumbing.
     """
+    if name.startswith("synth:"):
+        from repro.circuits.synth import parse_synth_spec, synth_network
+
+        seed, gates = parse_synth_spec(name[len("synth:"):])
+        return synth_network(max(16, int(round(gates * scale))), seed=seed)
     spec = SUITE.get(name)
     if spec is None:
         raise KeyError(f"unknown suite circuit: {name!r}")

@@ -1,0 +1,377 @@
+"""Rent's-rule synthetic netlists at benchmark-to-production scale.
+
+The MCNC/ISCAS-profile suite circuits top out at a few hundred gates;
+perf claims about the routing estimators and incremental STA need
+realistic workloads at 100k-1M gates.  :func:`synth_network` generates
+those: a seeded, deterministic multi-level network whose interconnect
+follows Rent's rule ``T = t * g^p``.
+
+Model
+-----
+Internal nodes are created on a linear order ``g0 .. g{N-1}`` (a 1-D
+abstraction of placement proximity).  Each fanin of gate ``i`` picks a
+backward distance ``d`` from the heavy-tailed law ``P(D >= d) =
+d^(p-1)`` (``p`` = the requested Rent exponent) and connects to gate
+``i - d``; draws that fall off the front of the order connect to a
+primary input instead.  A contiguous block of ``g`` gates then sees
+``O(g^p)`` of its pins cross the block boundary — exactly Rent scaling
+— which :func:`measure_rent_exponent` fits empirically (and the test
+suite pins per seed).  Fanout-free gates are re-absorbed as extra
+fanins of a later gate drawn from the same law (overflow becomes an
+extra primary output), so every gate is observable and the mapped gate
+count tracks the request.
+
+Logic depth is bounded: gate ``i`` sits in level slot ``i mod depth``
+and fanins must come from a strictly lower slot (level-0 gates read
+primary inputs), so every combinational path strictly climbs slots and
+is at most ``depth`` gates long.  Real 100k-gate netlists have tens of
+levels, not thousands — an unconstrained max-of-neighbours recurrence
+grows depth linearly in N.  Because consecutive gates occupy
+consecutive slots, short backward draws remain legal for most gates
+and the distance law (hence the measured Rent exponent) is barely
+perturbed by the slot rejection.
+
+Determinism
+-----------
+One ``random.Random(seed)`` drives everything; no iteration over sets
+or dicts with hash-dependent order.  The same ``(gates, seed, rent,
+max_fanin, depth)`` arguments produce the same network — and therefore the
+same BLIF text and sha256 — in any process (the contract
+``tests/circuits/test_synth.py`` enforces across an interpreter
+boundary).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.logic import SopCover, TruthTable
+from repro.network.network import Network
+from repro.network.blif import write_blif
+
+__all__ = [
+    "synth_network",
+    "synth_blif",
+    "parse_synth_spec",
+    "measure_rent_exponent",
+    "synth_stats",
+    "RentFit",
+]
+
+#: Rent coefficient ``t`` (terminals of a single gate); with the fanin
+#: distribution below this matches the average pin count per gate.
+RENT_COEFFICIENT = 2.5
+#: Fraction of the chip-level terminal count realised as primary inputs
+#: (the rest become primary outputs).
+INPUT_FRACTION = 0.65
+#: Functions drawn per arity; gates share immutable covers from this pool
+#: so function synthesis stays O(1) per gate at 1M-gate scale.
+FUNCTION_POOL_SIZE = 12
+#: Forward-scan bound for orphan absorption before falling back to an
+#: extra primary output.
+ABSORB_SCAN_LIMIT = 2048
+#: Default logic-depth target is ``DEPTH_FACTOR * log2(gates)`` levels
+#: (floored at 16) — tens of levels at 1k gates, ~120 at 1M, matching
+#: the depth profile of real flat netlists.
+DEPTH_FACTOR = 6.0
+
+
+def parse_synth_spec(spec: str) -> Tuple[int, int]:
+    """Parse a ``SEED:GATES`` spec string (as taken by the tools' --synth).
+
+    Returns ``(seed, gates)``.  Raises :class:`ValueError` on malformed
+    input or a non-positive gate count.
+    """
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ValueError(
+            f"synth spec must be SEED:GATES, got {spec!r}")
+    try:
+        seed, gates = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"synth spec must be two integers SEED:GATES, got {spec!r}")
+    if gates <= 0:
+        raise ValueError(f"synth gate count must be positive, got {gates}")
+    return seed, gates
+
+
+def _function_pool(
+    rng: random.Random, max_fanin: int
+) -> Dict[int, List[SopCover]]:
+    """Per-arity pools of non-constant, full-support SOP covers."""
+    pools: Dict[int, List[SopCover]] = {}
+    for arity in range(1, max_fanin + 1):
+        pool: List[SopCover] = []
+        while len(pool) < FUNCTION_POOL_SIZE:
+            tt = TruthTable(arity, rng.getrandbits(1 << arity))
+            if tt.is_constant() is not None:
+                continue
+            if len(tt.support()) != arity:
+                continue
+            pool.append(tt.to_sop())
+        pools[arity] = pool
+    return pools
+
+
+def synth_network(
+    gates: int,
+    seed: int = 0,
+    rent: float = 0.75,
+    max_fanin: int = 4,
+    depth: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Network:
+    """Generate a seeded Rent's-rule netlist with ``gates`` internal nodes.
+
+    Args:
+        gates: internal node count (1k-1M is the intended range; any
+            positive count works).
+        seed: RNG seed — identical arguments give an identical network.
+        rent: target Rent exponent ``p`` in (0, 1) of the fanin distance
+            law (the measured exponent tracks it; see
+            :func:`measure_rent_exponent`).
+        max_fanin: fanin cap per gate (arity is drawn from 2..max_fanin,
+            weighted toward 2-3 like real mapped logic).
+        depth: logic-depth bound in gate levels (default
+            ``max(16, round(DEPTH_FACTOR * log2(gates + 1)))``); fanins
+            only come from lower level slots, so no combinational path
+            is longer than this.
+        name: network name (default ``synth_s{seed}_g{gates}``).
+    """
+    if gates <= 0:
+        raise ValueError(f"gates must be positive, got {gates}")
+    if not 0.0 < rent < 1.0:
+        raise ValueError(f"rent exponent must be in (0, 1), got {rent}")
+    if max_fanin < 2:
+        raise ValueError(f"max_fanin must be >= 2, got {max_fanin}")
+    if depth is None:
+        depth = max(16, int(round(DEPTH_FACTOR * math.log2(gates + 1))))
+    if depth < 2:
+        raise ValueError(f"depth must be >= 2, got {depth}")
+    rng = random.Random((seed << 20) ^ (gates << 1) ^ max_fanin)
+    n = gates
+    terminals = RENT_COEFFICIENT * float(n) ** rent
+    num_inputs = max(max_fanin, int(round(INPUT_FRACTION * terminals)))
+    num_outputs = max(2, int(round((1.0 - INPUT_FRACTION) * terminals)))
+    # Inverse-CDF exponent of P(D >= d) = d^(p-1): D = u^(1/(p-1)).
+    inv_exp = 1.0 / (rent - 1.0)
+
+    arities = list(range(2, max_fanin + 1))
+    arity_weights = ([5, 3] + [1] * (max_fanin - 3))[: len(arities)]
+
+    # -- structure phase: pure integer fanin lists, PIs encoded negative.
+    fanins: List[List[int]] = []
+    fanout_count = [0] * n
+    unused_pis = list(range(num_inputs))
+    rng.shuffle(unused_pis)
+
+    def draw_source(i: int, taken: List[int]) -> int:
+        """One fanin source for gate ``i`` (gate index, or -1-pi for a PI)."""
+        lvl = i % depth
+        for _attempt in range(8):
+            if lvl:
+                d = int(rng.random() ** inv_exp)
+                src = i - max(d, 1)
+                if src >= 0 and src % depth >= lvl:
+                    continue  # equal-or-higher level slot: redraw
+            else:
+                src = -1  # level-0 gates read primary inputs only
+            if src < 0:
+                if unused_pis:
+                    src = -1 - unused_pis[-1]
+                else:
+                    src = -1 - rng.randrange(num_inputs)
+            if src not in taken:
+                if src < 0 and unused_pis and src == -1 - unused_pis[-1]:
+                    unused_pis.pop()
+                return src
+        # Collision fallback: nearest unused lower-level predecessor, then
+        # any PI.
+        probe = i - 1
+        while probe >= 0:
+            if probe % depth < lvl and probe not in taken:
+                return probe
+            probe -= 1
+        for pi in range(num_inputs):
+            if -1 - pi not in taken:
+                return -1 - pi
+        raise AssertionError("ran out of distinct fanin sources")
+
+    for i in range(n):
+        arity = rng.choices(arities, weights=arity_weights)[0]
+        arity = min(arity, i + num_inputs)
+        taken: List[int] = []
+        for _slot in range(arity):
+            src = draw_source(i, taken)
+            taken.append(src)
+            if src >= 0:
+                fanout_count[src] += 1
+        fanins.append(taken)
+
+    # -- primary outputs: the tail of the order drives the POs.
+    drivers = list(range(n - 1, max(-1, n - 1 - num_outputs), -1))
+    driver_set = set(drivers)
+    for gi in drivers:
+        fanout_count[gi] += 1
+
+    # -- orphan absorption: a fanout-free gate becomes an extra fanin of a
+    # later higher-slot gate drawn from the same distance law (keeping
+    # the depth bound); if no such gate has arity headroom within the
+    # scan bound it drives an extra PO instead.
+    for o in range(n):
+        if fanout_count[o] != 0:
+            continue
+        lvl = o % depth
+        absorbed = False
+        if lvl < depth - 1:
+            d = int(rng.random() ** inv_exp)
+            j = min(o + max(d, 1), max(o + 1, n - ABSORB_SCAN_LIMIT))
+            for probe in range(j, min(j + ABSORB_SCAN_LIMIT, n)):
+                if probe % depth > lvl and len(fanins[probe]) < max_fanin \
+                        and o not in fanins[probe]:
+                    fanins[probe].append(o)
+                    fanout_count[o] += 1
+                    absorbed = True
+                    break
+        if not absorbed:
+            drivers.append(o)
+            driver_set.add(o)
+            fanout_count[o] += 1
+
+    # -- function phase: draw shared covers from per-arity pools.
+    pools = _function_pool(rng, max_fanin)
+    functions = [rng.choice(pools[len(f)]) for f in fanins]
+
+    # -- materialise the Network.
+    net = Network(name or f"synth_s{seed}_g{gates}")
+    pis = [net.add_primary_input(f"pi{k}") for k in range(num_inputs)]
+    nodes = []
+    for i in range(n):
+        resolved = [
+            nodes[s] if s >= 0 else pis[-1 - s] for s in fanins[i]
+        ]
+        nodes.append(net.add_node(f"g{i}", resolved, functions[i]))
+
+    # Fold PIs that never got drawn into the PO drivers, so every input
+    # stays live (mirrors random_logic's contract).
+    merge_pool = pools[2]
+    extra = 0
+    for pi_index in range(num_inputs):
+        pi = pis[pi_index]
+        if not pi.fanouts:
+            slot = extra % len(drivers)
+            merged = net.add_node(
+                f"use_pi_{extra}",
+                [nodes[drivers[slot]], pi],
+                rng.choice(merge_pool),
+            )
+            nodes.append(merged)
+            drivers[slot] = len(nodes) - 1
+            extra += 1
+
+    for k, gi in enumerate(drivers):
+        net.add_primary_output(f"po{k}", nodes[gi])
+
+    net.check()
+    return net
+
+
+def synth_blif(gates: int, seed: int = 0, rent: float = 0.75,
+               max_fanin: int = 4, depth: Optional[int] = None,
+               name: Optional[str] = None) -> str:
+    """BLIF text of :func:`synth_network` with the same arguments."""
+    return write_blif(synth_network(
+        gates, seed=seed, rent=rent, max_fanin=max_fanin, depth=depth,
+        name=name))
+
+
+@dataclass(frozen=True)
+class RentFit:
+    """Least-squares fit of ``log T`` vs ``log g`` over block sizes.
+
+    Attributes:
+        exponent: fitted Rent exponent ``p``.
+        coefficient: fitted Rent coefficient ``t`` (terminals of a
+            size-1 block under the fit).
+        points: the ``(block_size, mean_terminals)`` samples fitted.
+    """
+
+    exponent: float
+    coefficient: float
+    points: Tuple[Tuple[int, float], ...]
+
+
+def measure_rent_exponent(
+    net: Network, min_block: int = 16, num_scales: int = 6
+) -> RentFit:
+    """Empirical Rent fit of a network against its creation order.
+
+    Internal nodes are partitioned into contiguous blocks of
+    geometrically growing sizes along their creation order (the
+    generator's 1-D proximity axis); a block's terminal count is the
+    number of its pins crossing the block boundary (external fanin
+    sources plus internal gates observed outside).  The slope of
+    ``log(mean terminals)`` against ``log(block size)`` is the measured
+    Rent exponent.
+    """
+    internal = [node for node in net.nodes if node.is_internal]
+    index = {node.name: i for i, node in enumerate(internal)}
+    n = len(internal)
+    if n < 4 * min_block:
+        raise ValueError(
+            f"need at least {4 * min_block} internal nodes, have {n}")
+    sizes: List[int] = []
+    block = min_block
+    while block <= n // 4 and len(sizes) < num_scales:
+        sizes.append(block)
+        block *= 4
+    points: List[Tuple[int, float]] = []
+    for size in sizes:
+        terminal_counts: List[int] = []
+        for start in range(0, n - size + 1, size):
+            lo, hi = start, start + size
+            terminals = 0
+            for i in range(lo, hi):
+                node = internal[i]
+                for fanin in node.fanins:
+                    j = index.get(fanin.name)
+                    if j is None or not (lo <= j < hi):
+                        terminals += 1
+                for sink in node.fanouts:
+                    j = index.get(sink.name)
+                    if j is None or not (lo <= j < hi):
+                        terminals += 1
+                        break
+            terminal_counts.append(terminals)
+        points.append((size, sum(terminal_counts) / len(terminal_counts)))
+    lx = [math.log(s) for s, _t in points]
+    ly = [math.log(t) for _s, t in points]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    return RentFit(slope, math.exp(intercept), tuple(points))
+
+
+def synth_stats(net: Network) -> Dict[str, float]:
+    """Summary statistics of a generated network (for tests and logs)."""
+    internal = [node for node in net.nodes if node.is_internal]
+    num_pis = sum(1 for node in net.nodes if node.is_pi)
+    num_pos = sum(1 for node in net.nodes if node.is_po)
+    fanins = [len(node.fanins) for node in internal]
+    fanouts = [len(node.fanouts) for node in internal]
+    return {
+        "gates": float(len(internal)),
+        "inputs": float(num_pis),
+        "outputs": float(num_pos),
+        "avg_fanin": sum(fanins) / max(1, len(fanins)),
+        "avg_fanout": sum(fanouts) / max(1, len(fanouts)),
+        "max_fanout": float(max(fanouts) if fanouts else 0),
+        "min_fanout": float(min(fanouts) if fanouts else 0),
+    }

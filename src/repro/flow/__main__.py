@@ -80,7 +80,8 @@ def main(argv=None) -> int:
     parser.add_argument("--naive-kernels", action="store_true",
                         help="disable only the struct-of-arrays numpy "
                              "kernels (vectorized HPWL/net boxes, sparse "
-                             "quadratic assembly, array STA); results are "
+                             "quadratic assembly, array STA, routing "
+                             "estimators); results are "
                              "identical, just slower (implied by "
                              "--naive-perf)")
     args = parser.parse_args(argv)
@@ -91,7 +92,8 @@ def main(argv=None) -> int:
 
     perf = PerfOptions.naive() if args.naive_perf else PerfOptions()
     if args.naive_kernels:
-        perf = dataclasses.replace(perf, vec_place=False, vec_sta=False)
+        perf = dataclasses.replace(
+            perf, vec_place=False, vec_sta=False, vec_route=False)
     perf = perf.with_jobs(args.jobs).with_procs(args.procs)
 
     circuits = args.circuits or None

@@ -146,13 +146,14 @@ def place_and_route(
             (the TimberWolf-style pass; slower, lower wirelength).
         perf: optimization switches; ``incremental_place`` selects the
             cached-bounding-box engines in the detailed pass and the
-            annealer, ``vec_place``/``vec_sta`` the struct-of-arrays
+            annealer, ``vec_place``/``vec_sta``/``vec_route`` the struct-of-arrays
             kernels beneath them (bit-identical either way).
     """
     wire_model = wire_model or WireCapModel()
     incremental = perf.incremental_place if perf is not None else True
     vec_place = getattr(perf, "vec_place", True) if perf is not None else True
     vec_sta = getattr(perf, "vec_sta", True) if perf is not None else True
+    vec_route = getattr(perf, "vec_route", True) if perf is not None else True
     region = mapped_image(mapped.total_cell_area())
     pads = pads_from_order(pad_order, region)
     netlist = mapped_netlist(mapped, pads)
@@ -175,7 +176,7 @@ def place_and_route(
 
         simulated_annealing(detailed, netlist, seed=anneal_seed,
                             incremental=incremental, vec=vec_place)
-    routed = route_design(mapped, detailed, pads)
+    routed = route_design(mapped, detailed, pads, vec=vec_route)
     chip = estimate_chip(
         routed.chip_width, routed.chip_height, mapped.total_cell_area()
     )

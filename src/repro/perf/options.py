@@ -41,8 +41,17 @@ class PerfOptions:
             delta engine (bit-identical to the naive folds; see
             ``docs/SCALING.md``).
         vec_sta: levelized array-form STA
-            (:mod:`repro.timing.array_sta`) for full timing passes;
+            (:mod:`repro.timing.array_sta`) for full timing passes and
+            the level-batched dirty-frontier updates of
+            :class:`repro.timing.incremental.IncrementalTiming`;
             bit-identical to :func:`repro.timing.sta.analyze`.
+        vec_route: struct-of-arrays routing estimators — the
+            :class:`~repro.perf.vec.PinTable` wirelength/Steiner folds
+            of :func:`repro.route.wirelength.netlist_wirelength`, the
+            batched Prim kernel of
+            :func:`repro.route.spanning.mst_lengths_batched`, and the
+            ordered length fold of global routing (bit-identical to the
+            naive per-net loops; see ``docs/SCALING.md``).
         jobs: worker threads for the parallel per-cone match prewarm
             (1 = sequential; results are identical for any value).
         procs: worker *processes* for suite runs (``run_table1`` /
@@ -59,6 +68,7 @@ class PerfOptions:
     warm_replace: bool = True
     vec_place: bool = True
     vec_sta: bool = True
+    vec_route: bool = True
     jobs: int = 1
     procs: int = 1
 
@@ -74,6 +84,7 @@ class PerfOptions:
             warm_replace=False,
             vec_place=False,
             vec_sta=False,
+            vec_route=False,
             jobs=1,
             procs=1,
         )

@@ -30,6 +30,7 @@ class ChannelResult:
 
     @property
     def is_density_optimal(self) -> bool:
+        """Whether the assignment met the channel-density lower bound."""
         return self.num_tracks == self.density
 
 

@@ -16,7 +16,7 @@ with the same qualitative congestion behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.geometry import Point
 from repro.map.netlist import MappedNetwork, Net
@@ -45,14 +45,17 @@ class RoutedDesign:
 
     @property
     def chip_area(self) -> float:
+        """Bounding die area: rows plus the expanded channels."""
         return self.chip_width * self.chip_height
 
     @property
     def total_wire_length(self) -> float:
+        """Sum of the per-net estimated route lengths."""
         return sum(self.net_lengths.values())
 
     @property
     def total_tracks(self) -> int:
+        """Total routing tracks allocated across every channel."""
         return sum(c.num_tracks for c in self.channels)
 
 
@@ -64,11 +67,14 @@ def _pad_channel(position: Point, num_rows: int, row_pitch: float) -> int:
     return min(max(channel, 0), num_rows)
 
 
-def _gate_row(placement: DetailedPlacement, name: str) -> Optional[int]:
+def _gate_rows(placement: DetailedPlacement) -> Dict[str, int]:
+    """Gate name -> row index, built once (first row wins, as the old
+    per-gate linear scan resolved duplicates)."""
+    rows: Dict[str, int] = {}
     for row in placement.rows:
-        if name in row.x_spans:
-            return row.index
-    return None
+        for name in row.x_spans:
+            rows.setdefault(name, row.index)
+    return rows
 
 
 def route_design(
@@ -76,6 +82,7 @@ def route_design(
     placement: DetailedPlacement,
     pad_positions: Dict[str, Point],
     track_pitch: float = DEFAULT_TRACK_PITCH,
+    vec: bool = True,
 ) -> RoutedDesign:
     """Globally route a placed mapped netlist and assemble the chip.
 
@@ -84,13 +91,17 @@ def route_design(
         placement: detailed (row) placement of its gates.
         pad_positions: boundary positions for every PI/PO name.
         track_pitch: channel track pitch in µm.
+        vec: fold the per-net routed lengths as one ordered segment sum
+            (``PerfOptions.vec_route``); bitwise the same lengths as the
+            retained per-net loop.
 
     Returns:
         The routed design with channel tracks, per-net routed lengths and
         final chip dimensions.
     """
     with OBS.span("route.global", rows=placement.num_rows):
-        design = _route_design(mapped, placement, pad_positions, track_pitch)
+        design = _route_design(
+            mapped, placement, pad_positions, track_pitch, vec)
     if OBS.enabled:
         OBS.metrics.counter("route.nets_routed").inc(len(design.net_lengths))
         OBS.metrics.counter("route.channels").inc(len(design.channels))
@@ -103,12 +114,14 @@ def _route_design(
     placement: DetailedPlacement,
     pad_positions: Dict[str, Point],
     track_pitch: float,
+    vec: bool = True,
 ) -> RoutedDesign:
     num_rows = placement.num_rows
     row_pitch = placement.cell_height + placement.channel_height_guess
     num_channels = num_rows + 1
 
     # Phase 1: choose a trunk channel and interval per net.
+    gate_rows = _gate_rows(placement)
     trunk_channel: Dict[str, int] = {}
     trunk_interval: Dict[str, Tuple[float, float]] = {}
     net_pins: Dict[str, List[Tuple[Point, int]]] = {}  # (position, channel pref)
@@ -117,7 +130,7 @@ def _route_design(
         pins: List[Tuple[Point, int]] = []
         for node in [net.driver] + [sink for sink, _pin in net.sinks]:
             if node.is_gate:
-                row = _gate_row(placement, node.name)
+                row = gate_rows.get(node.name)
                 if row is None:
                     continue
                 p = placement.positions[node.name]
@@ -157,7 +170,7 @@ def _route_design(
     # measured against the final (re-stacked) gate positions.
     net_lengths = _recompute_lengths(
         mapped, final_placement, pad_positions, trunk_channel,
-        trunk_interval, channel_y,
+        trunk_interval, channel_y, vec,
     )
 
     chip_width = max(
@@ -199,22 +212,56 @@ def _recompute_lengths(
     trunk_channel: Dict[str, int],
     trunk_interval: Dict[str, Tuple[float, float]],
     channel_y: List[float],
+    vec: bool = True,
 ) -> Dict[str, float]:
-    lengths: Dict[str, float] = {}
+    if not vec:
+        lengths: Dict[str, float] = {}
+        for net in mapped.nets():
+            name = net.driver.name
+            if name not in trunk_channel:
+                continue
+            trunk_y = channel_y[trunk_channel[name]]
+            lo, hi = trunk_interval[name]
+            total = hi - lo
+            for node in [net.driver] + [sink for sink, _pin in net.sinks]:
+                if node.is_gate:
+                    p = placement.positions.get(node.name)
+                else:
+                    p = pad_positions.get(node.name)
+                if p is None:
+                    continue
+                total += abs(p.y - trunk_y)
+            lengths[name] = total
+        return lengths
+
+    # Vectorized fold: each net's stream is [trunk span, |y - trunk_y|
+    # per located pin] so the ordered segment sum accumulates in exactly
+    # the naive loop's operation order (bitwise-equal lengths).
+    import numpy as np
+
+    from repro.perf.vec import segment_sum_ordered
+
+    names: List[str] = []
+    vals: List[float] = []
+    offs: List[int] = [0]
+    get_gate = placement.positions.get
+    get_pad = pad_positions.get
     for net in mapped.nets():
         name = net.driver.name
         if name not in trunk_channel:
             continue
         trunk_y = channel_y[trunk_channel[name]]
         lo, hi = trunk_interval[name]
-        total = hi - lo
+        vals.append(hi - lo)
         for node in [net.driver] + [sink for sink, _pin in net.sinks]:
-            if node.is_gate:
-                p = placement.positions.get(node.name)
-            else:
-                p = pad_positions.get(node.name)
+            p = get_gate(node.name) if node.is_gate else get_pad(node.name)
             if p is None:
                 continue
-            total += abs(p.y - trunk_y)
-        lengths[name] = total
-    return lengths
+            vals.append(abs(p.y - trunk_y))
+        offs.append(len(vals))
+        names.append(name)
+    sums = segment_sum_ordered(
+        np.asarray(vals, dtype=np.float64),
+        np.asarray(offs, dtype=np.int64),
+    ).tolist()
+    return dict(zip(names, sums))

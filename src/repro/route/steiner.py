@@ -4,14 +4,25 @@ Used by tests to sanity-check the Chung–Hwang estimate and by the routing
 reports.  Exact for 2–3 pins; larger nets run the classic iterated
 1-Steiner heuristic over Hanan grid candidates (Kahng–Robins style), which
 is within a few percent of optimal for the net sizes mapping produces.
+
+The heuristic's cost is one MST evaluation per Hanan candidate per
+round; with ``vec`` (the default, ``PerfOptions.vec_route``) those
+evaluations run as one batched Prim fold
+(:func:`repro.route.spanning._prim_lengths_matrix`) whose per-candidate
+lengths are bitwise-equal to the scalar
+:func:`~repro.route.spanning.rectilinear_mst_length` calls — identical
+lengths mean identical candidate selections, so the vectorized
+heuristic returns the exact result of the naive one.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.geometry import Point, manhattan
-from repro.route.spanning import rectilinear_mst_length
+from repro.route.spanning import _prim_lengths_matrix, rectilinear_mst_length
 
 __all__ = ["rsmt_length", "hanan_points"]
 
@@ -29,12 +40,60 @@ def hanan_points(points: Sequence[Point]) -> List[Point]:
     ]
 
 
-def rsmt_length(points: Sequence[Point]) -> float:
+def _candidate_lengths(
+    base: Sequence[Point], candidates: Sequence[Point], vec: bool
+) -> List[float]:
+    """MST length of ``base + [c]`` for each candidate ``c``.
+
+    The vectorized path shares the base coordinates across one
+    ``(B, k+1)`` Prim batch; each row is bitwise-equal to the scalar
+    evaluation of the same point list.
+    """
+    if not vec:
+        return [
+            rectilinear_mst_length(list(base) + [c]) for c in candidates
+        ]
+    k = len(base)
+    nrows = len(candidates)
+    xs = np.empty((nrows, k + 1), dtype=np.float64)
+    ys = np.empty((nrows, k + 1), dtype=np.float64)
+    xs[:, :k] = [p.x for p in base]
+    ys[:, :k] = [p.y for p in base]
+    xs[:, k] = [c.x for c in candidates]
+    ys[:, k] = [c.y for c in candidates]
+    return _prim_lengths_matrix(xs, ys).tolist()
+
+
+def _leave_one_out_lengths(
+    terminals: Sequence[Point], kept: Sequence[Point], vec: bool
+) -> List[float]:
+    """MST length of ``terminals + kept`` minus each kept point in turn."""
+    if not vec:
+        return [
+            rectilinear_mst_length(
+                list(terminals) + list(kept[:i]) + list(kept[i + 1:]))
+            for i in range(len(kept))
+        ]
+    t = len(terminals)
+    m = len(kept)
+    xs = np.empty((m, t + m - 1), dtype=np.float64)
+    ys = np.empty((m, t + m - 1), dtype=np.float64)
+    xs[:, :t] = [p.x for p in terminals]
+    ys[:, :t] = [p.y for p in terminals]
+    for i in range(m):
+        rest = list(kept[:i]) + list(kept[i + 1:])
+        xs[i, t:] = [p.x for p in rest]
+        ys[i, t:] = [p.y for p in rest]
+    return _prim_lengths_matrix(xs, ys).tolist()
+
+
+def rsmt_length(points: Sequence[Point], vec: bool = True) -> float:
     """Approximate rectilinear Steiner minimal tree length.
 
     2 pins: Manhattan distance.  3 pins: the median-point tree (optimal).
     Otherwise iterated 1-Steiner: repeatedly add the Hanan point that most
-    reduces the MST length, until no candidate helps.
+    reduces the MST length, until no candidate helps.  ``vec`` batches
+    the candidate MST evaluations (identical result either way).
     """
     n = len(points)
     if n < 2:
@@ -55,9 +114,9 @@ def rsmt_length(points: Sequence[Point]) -> float:
     while True:
         candidates = hanan_points(terminals + steiner)
         best_gain = 0.0
-        best_candidate = None
-        for candidate in candidates:
-            length = rectilinear_mst_length(terminals + steiner + [candidate])
+        best_candidate: Optional[Point] = None
+        lengths = _candidate_lengths(terminals + steiner, candidates, vec)
+        for candidate, length in zip(candidates, lengths):
             gain = best - length
             if gain > best_gain + 1e-12:
                 best_gain = gain
@@ -68,21 +127,21 @@ def rsmt_length(points: Sequence[Point]) -> float:
         best -= best_gain
         # Prune Steiner points that stopped helping (degree <= 2 effect is
         # approximated by re-evaluating the tree without each point).
-        steiner = _prune(terminals, steiner, best)
+        steiner = _prune(terminals, steiner, best, vec)
     return best
 
 
 def _prune(
-    terminals: List[Point], steiner: List[Point], current: float
+    terminals: List[Point], steiner: List[Point], current: float, vec: bool
 ) -> List[Point]:
     kept = list(steiner)
     changed = True
     while changed:
         changed = False
-        for i, _candidate in enumerate(kept):
-            without = kept[:i] + kept[i + 1:]
-            if rectilinear_mst_length(terminals + without) <= current + 1e-12:
-                kept = without
+        lengths = _leave_one_out_lengths(terminals, kept, vec)
+        for i, length in enumerate(lengths):
+            if length <= current + 1e-12:
+                kept = kept[:i] + kept[i + 1:]
                 changed = True
                 break
     return kept

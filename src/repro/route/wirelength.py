@@ -22,6 +22,8 @@ __all__ = [
     "net_length_estimate",
     "netlist_hpwl",
     "netlist_hpwl_naive",
+    "netlist_wirelength",
+    "netlist_wirelength_naive",
 ]
 
 
@@ -106,6 +108,95 @@ def netlist_hpwl(
     if OBS.enabled:
         OBS.metrics.counter("perf.vec.hpwl_folds").inc(len(nets))
     return total
+
+
+def netlist_wirelength_naive(
+    nets: Sequence[Sequence[str]],
+    positions: Dict[str, Point],
+    fixed: Dict[str, Point],
+    model: str = "steiner",
+) -> float:
+    """Total estimated wirelength over a hypergraph, one net at a time.
+
+    The exactness oracle for :func:`netlist_wirelength`: pins resolve
+    through the movable positions first, then the fixed terminals;
+    unlocatable pins are skipped and nets with fewer than two located
+    pins contribute ``+0.0``.  ``model`` selects the per-net estimator
+    of :func:`net_length_estimate`.
+    """
+    total = 0.0
+    for net in nets:
+        points = []
+        for pin in net:
+            p = positions.get(pin)
+            if p is None:
+                p = fixed.get(pin)
+                if p is None:
+                    continue
+            points.append(p)
+        if len(points) < 2:
+            continue
+        total += net_length_estimate(points, model)
+    return total
+
+
+def netlist_wirelength(
+    nets: Sequence[Sequence[str]],
+    positions: Dict[str, Point],
+    fixed: Dict[str, Point],
+    model: str = "steiner",
+    vec: bool = True,
+    table=None,
+) -> float:
+    """Total estimated wirelength over a hypergraph (vectorized).
+
+    With ``vec`` (``PerfOptions.vec_route``) the nets fold as flat
+    struct-of-arrays reductions over a
+    :class:`repro.perf.vec.PinTable`: per-net bounding boxes via
+    ``reduceat`` min/max (``hpwl``), the Chung–Hwang correction as one
+    elementwise ``sqrt`` expression (``steiner``), or the batched Prim
+    kernel :func:`repro.route.spanning.mst_lengths_batched`
+    (``spanning``) — with the per-net terms summed in naive net order
+    (:func:`repro.perf.vec.ordered_sum`), bitwise-equal to
+    :func:`netlist_wirelength_naive`.
+
+    Callers folding the same hypergraph repeatedly may pass a prebuilt
+    ``table`` (a :class:`~repro.perf.vec.PinTable` over ``nets``) to
+    amortise the flattening; its coordinates must already reflect
+    ``positions`` (see :meth:`~repro.perf.vec.PinTable.refresh`).
+    """
+    if not vec:
+        return netlist_wirelength_naive(nets, positions, fixed, model)
+    import numpy as np
+
+    from repro.obs import OBS
+    from repro.perf.vec import PinTable, ordered_sum
+
+    if table is None:
+        table = PinTable(nets, positions, fixed)
+    if model == "hpwl":
+        lengths = table.hpwl()
+    elif model == "steiner":
+        counts = table.counts
+        factor = np.where(
+            counts <= 3,
+            1.0,
+            (np.sqrt(counts.astype(np.float64)) + 1.0) / 2.0,
+        )
+        lengths = table.hpwl() * factor
+    elif model == "spanning":
+        from repro.route.spanning import mst_lengths_batched
+
+        lengths = mst_lengths_batched(
+            table.x[table.pin_slots],
+            table.y[table.pin_slots],
+            table.offsets,
+        )
+    else:
+        raise ValueError(f"unknown wire model: {model!r}")
+    if OBS.enabled:
+        OBS.metrics.counter("perf.vec.route_folds").inc(table.num_nets)
+    return ordered_sum(lengths)
 
 
 def net_length_estimate(points: Sequence[Point], model: str = "steiner") -> float:

@@ -17,8 +17,9 @@ and the per-node max/min folds are order-independent — so the resulting
 :class:`~repro.timing.sta.TimingReport` and required-time maps are
 bitwise-equal to :func:`~repro.timing.sta.analyze` and
 :func:`~repro.timing.sta.required_times`.  :class:`IncrementalTiming`
-uses these sweeps for its full recomputes; the frontier paths stay on
-the shared per-node helpers.
+uses these sweeps for its full recomputes and batches its dirty
+frontiers level by level over the same pin/entry tables (falling back
+to the shared per-node helpers only for tiny buckets).
 """
 
 from __future__ import annotations

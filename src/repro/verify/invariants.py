@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.geometry import Point
 from repro.map.lifecycle import LifecycleTracker, NodeState, _LEGAL
 from repro.map.netlist import MappedNetwork
 from repro.network.network import Network
@@ -605,7 +606,16 @@ def check_vec_kernels(
     * a full array-form STA (:class:`repro.timing.array_sta.ArraySTA`)
       vs :func:`repro.timing.sta.analyze` — arrivals, loads, critical
       output/delay — and the backward required times at the default
-      deadline.
+      deadline;
+    * the vectorized routing estimators
+      (:func:`repro.route.wirelength.netlist_wirelength` under every
+      wire model, including the batched Prim spanning kernel) vs the
+      per-net Python folds;
+    * the level-batched incremental-STA frontier
+      (:class:`~repro.timing.incremental.IncrementalTiming` with
+      ``vec=True``) vs the per-node reference engine over a shared
+      deterministic move sequence, including the refreshed required
+      times.
     """
     t0 = time.perf_counter()
     target = mapped.name
@@ -674,9 +684,85 @@ def check_vec_kernels(
                 f"array-STA required-time mismatch at {len(bad)} nodes "
                 f"(e.g. {bad[0] if bad else '?'})"
             )
+
+        from repro.route.wirelength import (
+            netlist_wirelength,
+            netlist_wirelength_naive,
+        )
+
+        for model in ("hpwl", "steiner", "spanning"):
+            v = netlist_wirelength(nets, positions, {}, model=model)
+            w = netlist_wirelength_naive(nets, positions, {}, model=model)
+            if v != w:
+                problems.append(
+                    f"vec {model} wirelength {v!r} != naive {w!r}"
+                )
+
+        problems.extend(_frontier_problems(mapped, wire_model))
     except Exception as exc:  # kernel crash must not kill the audit
         problems.append(f"vec kernel audit aborted: {exc}")
     return [_result("invariant.perf.vec", target, problems, t0)]
+
+
+def _frontier_problems(
+    mapped: MappedNetwork, wire_model: Optional[WireCapModel]
+) -> List[str]:
+    """Drive the vec and per-node incremental engines through the same
+    deterministic move sequence; report any bitwise divergence.
+
+    Positions are restored afterwards, so the audit leaves the netlist
+    untouched.
+    """
+    import random
+
+    from repro.timing.incremental import IncrementalTiming
+
+    gates = sorted(g.name for g in mapped.gates)
+    if not gates:
+        return []
+    saved = {n.name: n.position for n in mapped.nodes}
+    problems: List[str] = []
+    try:
+        e_vec = IncrementalTiming(mapped, wire_model=wire_model, vec=True)
+        e_ref = IncrementalTiming(mapped, wire_model=wire_model, vec=False)
+        rng = random.Random(0xC0FFEE)
+        for step in range(8):
+            for _ in range(rng.randrange(1, 5)):
+                name = gates[rng.randrange(len(gates))]
+                p = mapped[name].position
+                if p is None:
+                    continue
+                moved = Point(p.x + rng.uniform(-8, 8),
+                              p.y + rng.uniform(-8, 8))
+                e_vec.set_position(name, moved)
+                e_ref.set_position(name, moved)
+            live = e_vec.update()
+            ref = e_ref.update()
+            for name, want in ref.arrivals.items():
+                got = live.arrivals.get(name)
+                if (got is None or got.rise != want.rise
+                        or got.fall != want.fall):
+                    problems.append(
+                        f"frontier arrival mismatch at {name} "
+                        f"(step {step}): vec={got} ref={want}"
+                    )
+                    break
+            if live.loads != ref.loads:
+                problems.append(f"frontier load mismatch at step {step}")
+            if step % 3 == 1 and e_vec.required() != e_ref.required():
+                problems.append(
+                    f"frontier required-time mismatch at step {step}")
+            if problems:
+                break
+        if not problems:
+            problems.extend(
+                f"vec frontier vs full pass: {p}"
+                for p in e_vec.check_against_full()[:3]
+            )
+    finally:
+        for name, pos in saved.items():
+            mapped[name].position = pos
+    return problems
 
 
 def _safe_slacks(mapped: MappedNetwork,

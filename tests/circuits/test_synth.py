@@ -1,0 +1,159 @@
+"""The Rent's-rule synthetic workload generator (PR 9).
+
+Pins the generator's statistical contract per seed — measured Rent
+exponent, fanout/fanin shape, bounded logic depth — and its determinism
+across an interpreter boundary (same spec, same BLIF sha256 in a fresh
+process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.circuits.synth import (
+    DEPTH_FACTOR,
+    measure_rent_exponent,
+    parse_synth_spec,
+    synth_blif,
+    synth_network,
+    synth_stats,
+)
+
+
+def _logic_depth(net) -> int:
+    level = {}
+    for node in net.topological_order():
+        if not node.is_internal:
+            level[node.name] = 0
+        else:
+            level[node.name] = 1 + max(
+                (level[f.name] for f in node.fanins), default=0)
+    return max(level.values())
+
+
+class TestParseSpec:
+    def test_roundtrip(self):
+        assert parse_synth_spec("7:2000") == (7, 2000)
+
+    @pytest.mark.parametrize("bad", ["", "7", "7:2000:3", "a:b", "7:-5",
+                                     "7:0", "1.5:100"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_synth_spec(bad)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            synth_network(0)
+        with pytest.raises(ValueError):
+            synth_network(100, rent=1.0)
+        with pytest.raises(ValueError):
+            synth_network(100, rent=0.0)
+        with pytest.raises(ValueError):
+            synth_network(100, max_fanin=1)
+        with pytest.raises(ValueError):
+            synth_network(100, depth=1)
+
+
+class TestDeterminism:
+    def test_same_args_same_blif(self):
+        assert synth_blif(1500, seed=3) == synth_blif(1500, seed=3)
+
+    def test_different_seed_different_blif(self):
+        assert synth_blif(1500, seed=3) != synth_blif(1500, seed=4)
+
+    def test_sha_stable_across_processes(self):
+        """The determinism contract the docstring promises: a fresh
+        interpreter (fresh hash randomization) produces the same bytes."""
+        text = synth_blif(1200, seed=5)
+        here = hashlib.sha256(text.encode()).hexdigest()
+        code = ("import hashlib; from repro.circuits.synth import "
+                "synth_blif; print(hashlib.sha256(synth_blif(1200, seed=5)"
+                ".encode()).hexdigest())")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        there = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True,
+            text=True, check=True).stdout.strip()
+        assert here == there
+
+
+class TestSuiteIntegration:
+    def test_build_circuit_synth_name(self):
+        net = build_circuit("synth:7:300")
+        stats = synth_stats(net)
+        assert stats["gates"] >= 300
+        net.check()
+
+    def test_build_circuit_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            build_circuit("synth:oops")
+
+
+class TestRentExponent:
+    """The measured exponent must track the requested one, per seed."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_default_rent_band(self, seed):
+        fit = measure_rent_exponent(synth_network(4000, seed=seed))
+        assert 0.68 <= fit.exponent <= 0.88, fit
+
+    def test_terminal_counts_grow_with_block_size(self):
+        fit = measure_rent_exponent(synth_network(4000, seed=2))
+        terms = [t for _size, t in fit.points]
+        assert all(b > a for a, b in zip(terms, terms[1:])), fit.points
+
+    def test_higher_rent_measures_higher(self):
+        lo = measure_rent_exponent(synth_network(4000, seed=9, rent=0.55))
+        hi = measure_rent_exponent(synth_network(4000, seed=9, rent=0.85))
+        assert hi.exponent > lo.exponent + 0.05
+
+
+class TestShape:
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_fanout_distribution(self, seed):
+        stats = synth_stats(synth_network(3000, seed=seed))
+        # Every gate observable (orphan absorption), tame tail, and an
+        # average in the ballpark of real mapped logic.
+        assert stats["min_fanout"] >= 1.0
+        assert 1.4 <= stats["avg_fanout"] <= 3.2
+        assert stats["max_fanout"] <= 24.0
+        assert 2.0 <= stats["avg_fanin"] <= 4.0
+
+    def test_gate_count_tracks_request(self):
+        stats = synth_stats(synth_network(3000, seed=4))
+        assert 3000 <= stats["gates"] <= 3000 * 1.1
+
+    def test_io_sized_by_rent_rule(self):
+        stats = synth_stats(synth_network(3000, seed=4))
+        # T = t * g^p with t=2.5, p=0.75 gives ~1019 terminals at 3k.
+        assert 300 <= stats["inputs"] <= 1200
+        assert 100 <= stats["outputs"] <= 1200
+
+
+class TestDepthBound:
+    def test_default_depth_is_logarithmic(self):
+        import math
+
+        net = synth_network(3000, seed=6)
+        bound = max(16, round(DEPTH_FACTOR * math.log2(3001)))
+        # +1 for the trailing use_pi merge nodes.
+        assert _logic_depth(net) <= bound + 1
+
+    def test_explicit_depth_cap(self):
+        net = synth_network(2000, seed=6, depth=20)
+        assert _logic_depth(net) <= 21
+
+    def test_depth_changes_structure_not_determinism(self):
+        assert synth_blif(800, seed=2, depth=12) == \
+            synth_blif(800, seed=2, depth=12)
+        assert synth_blif(800, seed=2, depth=12) != \
+            synth_blif(800, seed=2, depth=40)

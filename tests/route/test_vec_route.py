@@ -1,0 +1,118 @@
+"""Bitwise equality of the vectorized routing estimators (PR 9).
+
+Every fast path in ``repro.route`` must produce bit-identical floats to
+its retained naive engine — the ``repro.perf.vec`` exactness
+discipline.  These fleets drive randomized hypergraphs (with 1–2 pin
+degenerates and unplaced-pin masks) through both paths and compare with
+``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.route.spanning import mst_lengths_batched, rectilinear_mst_length
+from repro.route.steiner import rsmt_length
+from repro.route.wirelength import netlist_wirelength, netlist_wirelength_naive
+
+#: Same session seed discipline as tests/conftest.py: set
+#: ``REPRO_TEST_SEED`` to replay a fleet failure.
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "19910611"))
+
+
+def _random_hypergraph(rng: random.Random, num_nets: int):
+    """Nets over a shared cell universe: movable + fixed + missing pins,
+    plus degenerate nets (empty / 1 pin / 2 pins / all-unplaced)."""
+    cells = [f"c{i}" for i in range(3 * num_nets)]
+    positions = {}
+    fixed = {}
+    for name in cells:
+        r = rng.random()
+        if r < 0.6:
+            positions[name] = Point(rng.uniform(0, 400), rng.uniform(0, 400))
+        elif r < 0.8:
+            fixed[name] = Point(rng.uniform(-40, 0), rng.uniform(0, 440))
+        # else: the pin resolves nowhere (an unplaced mask entry)
+    nets = []
+    for k in range(num_nets):
+        size = rng.choice((1, 2, 2, 3, 4, 5, 8, 12))
+        nets.append([rng.choice(cells) for _ in range(size)])
+    nets.append([])  # empty net
+    nets.append([c for c in cells[:4] if c not in positions
+                 and c not in fixed])  # possibly all-unlocatable
+    return nets, positions, fixed
+
+
+class TestNetlistWirelengthBitwise:
+    @pytest.mark.parametrize("model", ["hpwl", "steiner", "spanning"])
+    @pytest.mark.parametrize("round_", range(6))
+    def test_vec_matches_naive(self, model, round_):
+        rng = random.Random(TEST_SEED + 31 * round_)
+        nets, positions, fixed = _random_hypergraph(rng, 40)
+        vec = netlist_wirelength(nets, positions, fixed, model=model)
+        naive = netlist_wirelength_naive(nets, positions, fixed, model=model)
+        assert vec == naive  # bitwise, not approx
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            netlist_wirelength([["a", "b"]], {"a": Point(0, 0),
+                                              "b": Point(1, 1)}, {},
+                               model="bogus")
+
+    def test_prebuilt_table_matches(self):
+        from repro.perf.vec import PinTable
+
+        rng = random.Random(TEST_SEED + 99)
+        nets, positions, fixed = _random_hypergraph(rng, 25)
+        table = PinTable(nets, positions, fixed)
+        for model in ("hpwl", "steiner", "spanning"):
+            with_table = netlist_wirelength(nets, positions, fixed,
+                                            model=model, table=table)
+            fresh = netlist_wirelength(nets, positions, fixed, model=model)
+            assert with_table == fresh
+
+
+class TestBatchedMst:
+    @pytest.mark.parametrize("round_", range(4))
+    def test_matches_scalar_prim(self, round_):
+        import numpy as np
+
+        rng = random.Random(TEST_SEED + 7 * round_)
+        nets = []
+        for _ in range(30):
+            size = rng.choice((2, 3, 4, 5, 9))
+            nets.append([Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                         for _ in range(size)])
+        xs = np.array([p.x for net in nets for p in net])
+        ys = np.array([p.y for net in nets for p in net])
+        offsets = np.cumsum([0] + [len(net) for net in nets])
+        batched = mst_lengths_batched(xs, ys, offsets)
+        for i, net in enumerate(nets):
+            assert batched[i] == rectilinear_mst_length(net)
+
+    def test_duplicate_points(self):
+        import numpy as np
+
+        pts = [Point(5, 5)] * 4 + [Point(8, 5)]
+        xs = np.array([p.x for p in pts])
+        ys = np.array([p.y for p in pts])
+        batched = mst_lengths_batched(xs, ys, np.array([0, len(pts)]))
+        assert batched[0] == rectilinear_mst_length(pts)
+
+
+class TestRsmtVec:
+    @pytest.mark.parametrize("round_", range(6))
+    def test_vec_matches_naive(self, round_):
+        rng = random.Random(TEST_SEED + 13 * round_)
+        pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60))
+               for _ in range(rng.choice((4, 5, 6, 7)))]
+        assert rsmt_length(pts, vec=True) == rsmt_length(pts, vec=False)
+
+    def test_small_nets_share_one_path(self):
+        for pts in ([], [Point(1, 1)], [Point(0, 0), Point(3, 4)],
+                    [Point(0, 0), Point(4, 0), Point(2, 9)]):
+            assert rsmt_length(pts, vec=True) == rsmt_length(pts, vec=False)

@@ -96,13 +96,13 @@ def format_trajectory(old: Dict[str, Any], new: Dict[str, Any],
         f"python {old.get('python', '?')}) -> "
         f"{new_path} (pr {new.get('pr', '?')}, "
         f"python {new.get('python', '?')})",
-        f"  {'component':<24}{'old':>10}{'new':>10}{'ratio':>8}  verdict",
+        f"  {'component':<30}{'old':>10}{'new':>10}{'ratio':>8}  verdict",
     ]
     for row in rows:
         old_s = "-" if row["old_s"] is None else f"{row['old_s']:.4f}s"
         new_s = "-" if row["new_s"] is None else f"{row['new_s']:.4f}s"
         ratio = "-" if row["ratio"] is None else f"x{row['ratio']:.2f}"
-        lines.append(f"  {row['name']:<24}{old_s:>10}{new_s:>10}"
+        lines.append(f"  {row['name']:<30}{old_s:>10}{new_s:>10}"
                      f"{ratio:>8}  {row['verdict']}")
     for doc, path in ((old, old_path), (new, new_path)):
         kernels = doc.get("kernels")
@@ -158,6 +158,12 @@ def main(argv=None) -> int:
         rows = [r for r in rows
                 if any(r["name"].startswith(p) for p in args.watch)]
     print(format_trajectory(old, new, rows, old_path, new_path))
+    if args.watch and not any(r["ratio"] is not None for r in rows):
+        # Artifacts grow sections over time (scale.route.* / scale.synth.*
+        # only exist from PR 9 on); an all-added/removed watch set means
+        # there is nothing to gate on, which deserves saying out loud.
+        print(f"note: no shared rows under watch prefix(es) "
+              f"{', '.join(args.watch)}; the gate has nothing to compare")
     regressed = [r["name"] for r in rows if r["verdict"] == "REGRESSED"]
     if regressed and args.fail_on_regress:
         print(f"FAIL: regressed beyond x{args.threshold}: "

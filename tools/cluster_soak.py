@@ -28,9 +28,13 @@ Run from the repo root::
 
     PYTHONPATH=src python tools/cluster_soak.py --shards 4 --jobs 1000
     PYTHONPATH=src python tools/cluster_soak.py --shards 2 --jobs 64   # CI
+    PYTHONPATH=src python tools/cluster_soak.py --synth 7:2000 --jobs 64
 
-``--json OUT`` additionally writes the measured rates/latencies for
-``benchmarks/perf_snapshot.py``.
+``--synth SEED:GATES`` (repeatable) mixes generated Rent's-rule
+workloads (``repro.circuits.synth``) into the job pool next to the
+suite circuits, so the soak also exercises serving of generator-scale
+netlists.  ``--json OUT`` additionally writes the measured
+rates/latencies for ``benchmarks/perf_snapshot.py``.
 """
 
 from __future__ import annotations
@@ -67,9 +71,11 @@ def fuzz_blif(rng: random.Random, index: int) -> str:
     return "\n".join(lines) + "\n"
 
 
-def build_mix(jobs: int, seed: int):
+def build_mix(jobs: int, seed: int, synth_specs=()):
     """The deterministic job list: ``jobs`` specs drawn (with heavy
-    repetition — that is the warm traffic) from a small unique pool."""
+    repetition — that is the warm traffic) from a small unique pool.
+    ``synth_specs`` (``SEED:GATES`` strings) add generated Rent's-rule
+    circuits to the pool; they survive the unique-pool cap."""
     from repro.serve.driver import TABLE2_WIRE_CAP
     from repro.serve.jobs import JobSpec
 
@@ -91,6 +97,9 @@ def build_mix(jobs: int, seed: int):
     max_unique = max(4, jobs // 3)
     if len(pool) > max_unique:
         pool = pool[:max_unique]
+    for spec in synth_specs:
+        pool.append(JobSpec.from_dict(
+            {"circuit": f"synth:{spec}", "flow": "lily", "mode": "area"}))
     return [pool[rng.randrange(len(pool))] for _ in range(jobs)], pool
 
 
@@ -120,13 +129,20 @@ def main(argv) -> int:
     parser.add_argument("--hit-floor", type=float, default=0.5,
                         help="minimum cluster cache hit rate (default 0.5)")
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--synth", action="append", default=[],
+                        metavar="SEED:GATES",
+                        help="mix a generated Rent's-rule circuit into "
+                             "the job pool (repeatable)")
     parser.add_argument("--json", default=None, metavar="OUT",
                         help="write the measured summary as JSON")
     args = parser.parse_args(argv[1:])
 
+    from repro.circuits.synth import parse_synth_spec
     from repro.serve import Client, ClusterConfig, ClusterRouter, JobSpec
 
-    mix, pool = build_mix(args.jobs, args.seed)
+    for spec in args.synth:
+        parse_synth_spec(spec)  # fail fast on malformed specs
+    mix, pool = build_mix(args.jobs, args.seed, synth_specs=args.synth)
     print(f"cluster soak: {args.jobs} jobs over {len(pool)} unique specs, "
           f"{args.shards} shards x {args.workers} workers")
 

@@ -1,0 +1,64 @@
+"""CI fingerprint check: default kernels vs ``--naive-kernels``, same bits.
+
+Runs one flow twice on the same circuit — once with the default
+``PerfOptions`` (all SoA kernels on) and once with the array kernels
+switched off exactly as ``--naive-kernels`` does — and asserts the two
+deterministic job payloads (``repro.serve.jobs.build_payload``: mapped
+BLIF, gate positions, areas, delay) hash identically.  The kernels must
+change speed, never results; a generated ``synth:SEED:GATES`` circuit
+makes this gate cover the Rent's-rule workloads too.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/flow_fingerprint.py synth:5:600
+    PYTHONPATH=src python tools/flow_fingerprint.py misex1 --flow mis
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+
+def main(argv) -> int:
+    from repro.circuits.suite import build_circuit
+    from repro.library.standard import big_library
+    from repro.perf import PerfOptions
+    from repro.serve.jobs import JobSpec, build_payload, payload_hash, run_flow
+
+    parser = argparse.ArgumentParser(prog="flow_fingerprint")
+    parser.add_argument("circuit", nargs="?", default="synth:5:600",
+                        help="suite circuit or synth:SEED:GATES "
+                             "(default synth:5:600)")
+    parser.add_argument("--flow", choices=["lily", "mis"], default="lily")
+    parser.add_argument("--mode", choices=["area", "timing"],
+                        default="area")
+    args = parser.parse_args(argv[1:])
+
+    spec = JobSpec.from_dict({"circuit": args.circuit, "flow": args.flow,
+                              "mode": args.mode})
+    library = big_library()
+    variants = (
+        ("default", PerfOptions()),
+        ("naive-kernels", dataclasses.replace(
+            PerfOptions(), vec_place=False, vec_sta=False,
+            vec_route=False)),
+    )
+    hashes = {}
+    for label, perf in variants:
+        net = build_circuit(args.circuit)  # fresh graph per run
+        result = run_flow(spec, net, library, perf=perf)
+        hashes[label] = payload_hash(build_payload(spec, result))
+        print(f"  {label:<14} {hashes[label][:16]}")
+    if len(set(hashes.values())) != 1:
+        print(f"flow fingerprint FAILED: kernels changed the result on "
+              f"{args.circuit}: {hashes}")
+        return 1
+    print(f"flow fingerprint ok: {args.circuit} identical under default "
+          f"and naive kernels ({hashes['default'][:16]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

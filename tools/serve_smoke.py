@@ -17,6 +17,11 @@ Run from the repo root::
 
     PYTHONPATH=src python tools/serve_smoke.py [circuit]
     PYTHONPATH=src python tools/serve_smoke.py --cluster 2 [circuit]
+    PYTHONPATH=src python tools/serve_smoke.py --synth 7:2000
+
+``--synth SEED:GATES`` smokes a generated Rent's-rule workload
+(``repro.circuits.synth``) instead of a suite circuit — the job name
+becomes ``synth:SEED:GATES``, which the server builds on demand.
 """
 
 from __future__ import annotations
@@ -39,9 +44,17 @@ def main(argv) -> int:
     parser.add_argument("--cluster", type=int, default=None, metavar="N",
                         help="smoke an N-shard cluster instead of a "
                              "single server")
+    parser.add_argument("--synth", default=None, metavar="SEED:GATES",
+                        help="smoke a generated Rent's-rule circuit "
+                             "instead of a suite circuit")
     args = parser.parse_args(argv[1:])
 
     circuit = args.circuit
+    if args.synth is not None:
+        from repro.circuits.synth import parse_synth_spec
+
+        parse_synth_spec(args.synth)  # validate before spawning a server
+        circuit = f"synth:{args.synth}"
     trace_id = "req-smoke0000001"
     mode = f"cluster[{args.cluster}]" if args.cluster else "single"
     client = Client.subprocess(workers=1, cluster=args.cluster)
