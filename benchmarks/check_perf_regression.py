@@ -24,18 +24,22 @@ import json
 import re
 import sys
 
-from perf_snapshot import snapshot
+from perf_snapshot import mapping_backend_rows, snapshot
 
 #: Components the regression gate watches: the mapping hot path (PR 2),
 #: the incremental layout/timing engines (PR 4), the struct-of-arrays
-#: scaling rows (PR 7) and the generator-backed routing/STA rows
+#: scaling rows (PR 7), the generator-backed routing/STA rows
 #: (PR 9, suffixed with their gate count so any baseline size keeps
-#: comparing like for like).  Only rows present in the chosen baseline
-#: are compared, so older baselines keep working.
+#: comparing like for like) and the covering-backend rows (PR 10:
+#: curated circuit only — the 10k-gate synth rows are tracked
+#: artifact-to-artifact by ``bench_trajectory.py --watch map.``
+#: instead, keeping this same-host re-run CI-sized).  Only rows present
+#: in the chosen baseline are compared, so older baselines keep working.
 WATCHED = ("lily_map", "mis_map", "anneal", "detailed_improve",
            "sta_moves", "scale.hpwl", "scale.anneal_cost",
            "scale.sta_full", "scale.route.wirelength_10000",
-           "scale.route.spanning_10000", "scale.synth.sta_moves_10000")
+           "scale.route.spanning_10000", "scale.synth.sta_moves_10000",
+           "map.cuts.table_build", "map.cuts.C880", "map.fusion.C880")
 
 #: Gate counts re-run for the ``scale.*`` rows when the baseline has
 #: them (the canonical rows come from the largest size).
@@ -90,6 +94,11 @@ def main(argv=None) -> int:
             repeats=args.repeats,
             synth_sizes=SYNTH_GATES if synth else None,
         )[0])
+    if any(name.startswith("map.") for name in base_timings):
+        # Covering-backend rows on the baseline circuit only; the slow
+        # generated-workload rows stay artifact-to-artifact territory.
+        fresh.update(mapping_backend_rows(
+            circuit, synth="", repeats=args.repeats)[0])
     failed = False
     print(f"baseline {baseline_path} (pr {baseline.get('pr', '?')}, "
           f"circuit {circuit})")

@@ -49,13 +49,22 @@ PR 9 adds ``--synth-scaling``: generator-backed ``scale.synth.*`` and
 curated-circuit tilings ``--scaling`` drives.  ``--max-gates`` raises
 the accident guard for the 1M-gate opt-in.
 
+PR 10 adds the covering-backend rows (``map.*``): tree vs priority-cut
+vs fusion wall times on the snapshot circuit and a 10k-gate Rent's-rule
+workload, plus the NPN match-table build — with each backend's mapped
+cell area recorded in a ``mapping`` section so trajectory diffs can
+tell a wall-time regression from a QoR regression.
+``tools/bench_trajectory.py --watch map.`` tracks these rows across
+artifacts; ``--mapping-synth ''`` skips the (slow) generated workload.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [out.json]
-        [--pr 9] [--circuit C880] [--repeats 3] [--jobs 1]
+        [--pr 10] [--circuit C880] [--repeats 3] [--jobs 1]
         [--suite] [--procs 4] [--serve-requests 6]
         [--scaling [1000 5000 20000]] [--synth-scaling 10000 100000]
         [--max-gates 200000] [--cluster-shards 2] [--cluster-jobs 32]
+        [--mapping-synth synth:19910611:10000]
 """
 
 from __future__ import annotations
@@ -221,6 +230,79 @@ def _layout_rows(net, mapped, repeats: int) -> Dict[str, float]:
     }
 
 
+def mapping_backend_rows(
+    circuit: str = "C880",
+    synth: str = "synth:19910611:10000",
+    repeats: int = 2,
+) -> "tuple[Dict[str, float], Dict[str, object]]":
+    """Covering-backend rows: tree vs cuts vs fusion wall + QoR.
+
+    Times the three interchangeable covering backends on the same
+    decomposed subject graphs — one curated suite circuit and one
+    Rent's-rule generated workload — plus the NPN match-table build
+    (the cut backend's only per-library setup cost; the timed mapper
+    rows run against the warm memoised table, matching what a flow or
+    serve user sees after the first job).  Returns ``(timings, qor)``:
+    ``map.*`` wall rows for ``timings_s`` and a per-circuit QoR dict
+    (mapped cell area per backend) for the ``mapping`` section, so
+    trajectory diffs can tell a wall-time regression from a quality
+    regression.  Fusion runs only on the curated circuit — on the 10k
+    workload it would double the dominant tree+cuts wall while its QoR
+    is already determined by the per-cone winners.  ``synth=""`` skips
+    the generated workload (``check_perf_regression`` does this for its
+    quick re-run).
+    """
+    from repro.map.cuts import CutMapper, FusionMapper, NpnMatchTable
+
+    library = big_library()
+    timings: Dict[str, float] = {}
+    qor: Dict[str, object] = {}
+
+    k = CutMapper(library).k
+    timings["map.cuts.table_build"] = _best_of(
+        lambda: NpnMatchTable(library, k), repeats)
+
+    def timed_map(make_mapper, subject, reps):
+        """Best-of wall plus the last run's result (QoR comes free —
+        mapping the 10k workload twice per backend would double a
+        multi-minute snapshot for identical, deterministic output)."""
+        best, result = float("inf"), None
+        for _ in range(reps):
+            start = perf_counter()
+            result = make_mapper().map(subject)
+            best = min(best, perf_counter() - start)
+        return best, result
+
+    jobs = [(circuit, True)]
+    if synth:
+        jobs.append((synth, False))
+    for name, with_fusion in jobs:
+        slug = name.replace("synth:", "synth_").replace(":", "_")
+        subject = decompose_to_subject(build_circuit(name))
+        reps = repeats if with_fusion else max(1, repeats - 1)
+        row: Dict[str, object] = {"gates": sum(
+            1 for n in subject.nodes if n.is_gate)}
+
+        wall, tree = timed_map(
+            lambda: MisAreaMapper(library), subject, reps)
+        timings[f"map.tree.{slug}"] = wall
+        row["tree_area"] = round(tree.mapped.total_cell_area(), 1)
+
+        wall, cuts = timed_map(
+            lambda: CutMapper(library, mode="area"), subject, reps)
+        timings[f"map.cuts.{slug}"] = wall
+        row["cuts_area"] = round(cuts.mapped.total_cell_area(), 1)
+
+        if with_fusion:
+            wall, fused = timed_map(
+                lambda: FusionMapper(library, mode="area"), subject, reps)
+            timings[f"map.fusion.{slug}"] = wall
+            row["fusion_area"] = round(
+                fused.mapped.total_cell_area(), 1)
+        qor[slug] = row
+    return timings, qor
+
+
 def serve_snapshot(circuit: str = "C880",
                    requests: int = 6) -> Dict[str, object]:
     """Latency percentiles from an in-process mapping service.
@@ -380,7 +462,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("out", nargs="?", default=None,
                         help="output path (default BENCH_PR<n>.json)")
-    parser.add_argument("--pr", type=int, default=8,
+    parser.add_argument("--pr", type=int, default=10,
                         help="PR number stamped into the artifact")
     parser.add_argument("--circuit", default="C880")
     parser.add_argument("--repeats", type=int, default=3)
@@ -420,6 +502,11 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="jobs replayed through the cluster rows "
                              "(default 32)")
+    parser.add_argument("--mapping-synth", default="synth:19910611:10000",
+                        metavar="SPEC",
+                        help="Rent's-rule workload for the covering-"
+                             "backend map.* rows (empty string runs "
+                             "them on --circuit only)")
     args = parser.parse_args(argv)
     out = args.out or f"BENCH_PR{args.pr}.json"
 
@@ -444,6 +531,10 @@ def main(argv=None) -> int:
             **kwargs,
         )
         timings.update(scale_timings)
+    map_timings, map_qor = mapping_backend_rows(
+        args.circuit, synth=args.mapping_synth,
+        repeats=max(1, args.repeats - 1))
+    timings.update(map_timings)
     doc = {
         "pr": args.pr,
         "circuit": args.circuit,
@@ -456,6 +547,9 @@ def main(argv=None) -> int:
     }
     if scale_sizes is not None:
         doc["scaling_sizes"] = scale_sizes
+    # Covering-backend QoR next to the map.* walls: a faster mapper
+    # that covers worse is a regression the wall rows alone would hide.
+    doc["mapping"] = map_qor
     if args.serve_requests:
         doc["serve"] = serve_snapshot(args.circuit,
                                       requests=args.serve_requests)
@@ -483,6 +577,11 @@ def main(argv=None) -> int:
     print(f"wrote {out}")
     for name, seconds in sorted(timings.items()):
         print(f"  {name:<24}{seconds:>10.4f}s")
+    for slug, row in doc["mapping"].items():
+        areas = "  ".join(f"{key[:-5]} {value:.0f}"
+                          for key, value in row.items()
+                          if key.endswith("_area"))
+        print(f"  map QoR {slug:<15} {areas}")
     if args.serve_requests:
         s = doc["serve"]
         print(f"  serve latency_s         p50 {s['latency_s_p50']:.4f}  "

@@ -40,6 +40,13 @@ def main(argv=None) -> int:
                              "equivalence check")
     parser.add_argument("--mode", choices=["area", "timing"], default="area",
                         help="pipeline mode for 'report'")
+    parser.add_argument("--mapper", default="tree", metavar="SPEC",
+                        help="covering backend for the MIS pipeline: "
+                             "tree (the paper's dynamic-programming tree "
+                             "mapper, default), cuts (priority-cut "
+                             "enumeration + NPN boolean matching), fusion "
+                             "(best of tree/cuts per output cone), or "
+                             "lut:K (FPGA-style K-input LUT covering)")
     parser.add_argument("--svg", default=None,
                         help="write the Lily layout as SVG (report only)")
     parser.add_argument("--profile", action="store_true",
@@ -96,7 +103,13 @@ def main(argv=None) -> int:
             perf, vec_place=False, vec_sta=False, vec_route=False)
     perf = perf.with_jobs(args.jobs).with_procs(args.procs)
 
+    from repro.map.cuts import MapperSpecError, parse_mapper_spec
+
     circuits = args.circuits or None
+    try:
+        parse_mapper_spec(args.mapper)
+    except MapperSpecError as exc:
+        raise SystemExit(str(exc))
     if args.no_verify and args.verify_level:
         raise SystemExit("--no-verify and --verify are mutually exclusive")
     if args.procs > 1 and (args.svg or args.trace):
@@ -134,11 +147,11 @@ def _tables(args, circuits, verify, perf) -> int:
     try:
         if args.command == "table1":
             rows = run_table1(circuits, scale=args.scale, verify=verify,
-                              perf=perf, obs_out=obs_out)
+                              perf=perf, obs_out=obs_out, mapper=args.mapper)
             print(format_table1(rows))
         else:
             rows = run_table2(circuits, scale=args.scale, verify=verify,
-                              perf=perf, obs_out=obs_out)
+                              perf=perf, obs_out=obs_out, mapper=args.mapper)
             print(format_table2(rows))
     finally:
         if observing:
@@ -178,11 +191,11 @@ def _tables_served(args, circuits, verify) -> int:
         with client_cm as client:
             if args.command == "table1":
                 rows = run_table1_served(client, circuits, scale=args.scale,
-                                         verify=verify)
+                                         verify=verify, mapper=args.mapper)
                 print(format_table1(rows))
             else:
                 rows = run_table2_served(client, circuits, scale=args.scale,
-                                         verify=verify)
+                                         verify=verify, mapper=args.mapper)
                 print(format_table2(rows))
             stats = client.stats()
             cache = stats["cache"]
@@ -237,13 +250,17 @@ def _verify(args, perf) -> int:
             f"(known: {', '.join(sorted(SUITE))})")
     for name in args.circuits or TABLE1_CIRCUITS:
         net = build_circuit(name, scale=args.scale)
-        for flow_fn, flow_name in ((mis_flow, "mis"), (lily_flow, "lily")):
-            result = flow_fn(net, library, mode=args.mode, verify=level,
-                             perf=perf)
+        for flow_fn in (mis_flow, lily_flow):
+            if flow_fn is mis_flow:
+                result = flow_fn(net, library, mode=args.mode, verify=level,
+                                 perf=perf, mapper=args.mapper)
+            else:
+                result = flow_fn(net, library, mode=args.mode, verify=level,
+                                 perf=perf)
             report = result.verify_report
             counts = report.counts()
             status = "ok" if report.passed else "FAILED"
-            print(f"== {name} / {flow_name} / {args.mode}: "
+            print(f"== {name} / {result.mapper} / {args.mode}: "
                   f"{counts['passed']}/{counts['run']} checks passed "
                   f"[{status}]")
             if not report.passed:
@@ -282,7 +299,7 @@ def _report(args, verify, perf) -> None:
         for name in args.circuits:
             net = build_circuit(name, scale=args.scale)
             mis = mis_flow(net, library, mode=args.mode, verify=verify,
-                           perf=perf)
+                           perf=perf, mapper=args.mapper)
             lily = lily_flow(net, library, mode=args.mode, verify=verify,
                              perf=perf)
             print(comparison_report(mis, lily))

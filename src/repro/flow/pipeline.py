@@ -23,6 +23,7 @@ from repro.core.lily import LilyAreaMapper, LilyDelayMapper, LilyOptions
 from repro.geometry import Point, Rect
 from repro.library.cell import Library
 from repro.map.base import MapResult
+from repro.map.cuts import CutMapper, FusionMapper, parse_mapper_spec
 from repro.map.mis import MisAreaMapper, MisDelayMapper
 from repro.map.netlist import MappedNetwork
 from repro.network.decompose import decompose_to_subject
@@ -69,7 +70,7 @@ class FlowResult:
     """Everything one pipeline run reports."""
 
     circuit: str
-    mapper: str  # "mis" | "lily"
+    mapper: str  # "mis" | "lily" | "mis-<spec>" (non-tree mapping backends)
     mode: str  # "area" | "timing"
     map_result: MapResult
     backend: BackendResult
@@ -236,6 +237,7 @@ def mis_flow(
     verify: Union[bool, str] = True,
     perf: Optional[PerfOptions] = None,
     matcher=None,
+    mapper: str = "tree",
 ) -> FlowResult:
     """Pipeline 1: MIS mapping, layout afterwards.
 
@@ -249,25 +251,47 @@ def mis_flow(
     ``matcher`` injects a pre-built structural matcher (``repro.serve``
     passes one wired to its warm pattern index and cross-job template
     memo); ``None`` lets the mapper build its own from ``perf``.
+
+    ``mapper`` selects the covering backend (see
+    :func:`repro.map.cuts.parse_mapper_spec`): ``"tree"`` is the classic
+    DAGON/MIS tree matcher, ``"cuts"`` the priority-cut DAG coverer,
+    ``"fusion"`` the best-cover-per-cone race of both, and ``"lut:K"``
+    the FPGA-style K-input LUT workload.  Non-tree backends report their
+    spec in ``FlowResult.mapper`` (e.g. ``"mis-cuts"``) since they change
+    the answer, unlike ``perf``.
     """
+    spec = parse_mapper_spec(mapper)
+    flow_name = "mis" if spec.kind == "tree" else f"mis-{spec.canonical}"
     start = perf_counter()
     counters_before = (
         OBS.metrics.snapshot_counters() if OBS.enabled else None
     )
-    with OBS.span("flow", mapper="mis", circuit=net.name, mode=mode) as root:
+    with OBS.span("flow", mapper=flow_name, circuit=net.name,
+                  mode=mode) as root:
         with OBS.span("decompose"):
             subject = decompose_to_subject(net)
         if mode not in ("area", "timing"):
             raise ValueError(f"unknown mode: {mode!r}")
         # Pattern-set generation is cached per library; the first flow in a
-        # process pays it here, so it gets its own phase row.
+        # process pays it here, so it gets its own phase row.  The cut
+        # backends pay their NPN-table build in the same phase.
         with OBS.span("patterns"):
-            if mode == "area":
-                mapper = MisAreaMapper(library, perf=perf, matcher=matcher)
+            if spec.kind == "cuts":
+                mapper_obj = CutMapper(library, mode=mode, perf=perf)
+            elif spec.kind == "fusion":
+                mapper_obj = FusionMapper(library, mode=mode, perf=perf,
+                                          matcher=matcher)
+            elif spec.kind == "lut":
+                mapper_obj = CutMapper(library, mode=mode,
+                                       lut_k=spec.lut_k, perf=perf)
+            elif mode == "area":
+                mapper_obj = MisAreaMapper(library, perf=perf,
+                                           matcher=matcher)
             else:
-                mapper = MisDelayMapper(library, perf=perf, matcher=matcher)
+                mapper_obj = MisDelayMapper(library, perf=perf,
+                                            matcher=matcher)
         with OBS.span("map", gates=len(subject.gates)):
-            result = mapper.map(subject)
+            result = mapper_obj.map(subject)
         with OBS.span("pads"):
             pad_order = io_affinity_order(net)
             pad_order = _mapped_terminal_names(result.mapped, pad_order)
@@ -282,9 +306,9 @@ def mis_flow(
     report = None
     if root is not None:
         report = build_report(root, OBS, counters_before,
-                              flow="mis", circuit=net.name)
+                              flow=flow_name, circuit=net.name)
     return FlowResult(
-        net.name, "mis", mode, result, backend, equivalent, runtime,
+        net.name, flow_name, mode, result, backend, equivalent, runtime,
         obs=report, verify_report=verify_report,
     )
 

@@ -98,10 +98,12 @@ def _table1_circuit(
     options: Optional[LilyOptions],
     verify: Union[bool, str],
     perf: Optional[PerfOptions],
+    mapper: str = "tree",
 ) -> Tuple[Table1Row, List[ObsReport]]:
     """One Table 1 row (both flows).  Module-level so it pickles."""
     net = build_circuit(name, scale=scale)
-    mis = mis_flow(net, library, mode="area", verify=verify, perf=perf)
+    mis = mis_flow(net, library, mode="area", verify=verify, perf=perf,
+                   mapper=mapper)
     lily = lily_flow(net, library, mode="area", options=options,
                      verify=verify, perf=perf)
     row = Table1Row(
@@ -126,11 +128,12 @@ def _table2_circuit(
     verify: Union[bool, str],
     perf: Optional[PerfOptions],
     wire_model: WireCapModel,
+    mapper: str = "tree",
 ) -> Tuple[Table2Row, List[ObsReport]]:
     """One Table 2 row (both flows).  Module-level so it pickles."""
     net = build_circuit(name, scale=scale)
     mis = mis_flow(net, library, mode="timing", wire_model=wire_model,
-                   verify=verify, perf=perf)
+                   verify=verify, perf=perf, mapper=mapper)
     lily = lily_flow(net, library, mode="timing", options=options,
                      wire_model=wire_model, verify=verify, perf=perf)
     row = Table2Row(
@@ -200,6 +203,7 @@ def run_table1(
     perf: Optional[PerfOptions] = None,
     procs: Optional[int] = None,
     obs_out: Optional[List[ObsReport]] = None,
+    mapper: str = "tree",
 ) -> List[Table1Row]:
     """Regenerate Table 1 over the named circuits.
 
@@ -207,12 +211,14 @@ def run_table1(
     ``perf.procs``); rows are identical for any value.  ``obs_out``, when
     given a list, receives one :class:`ObsReport` per flow — from worker
     processes too — ready for :func:`repro.obs.merge_reports`.
+    ``mapper`` selects the MIS column's covering backend
+    (``tree``/``cuts``/``fusion``/``lut:K``); Lily stays tree-based.
     """
     library = library or big_library()
     if procs is None:
         procs = perf.procs if perf is not None else 1
     args = [
-        (name, scale, library, options, verify, perf)
+        (name, scale, library, options, verify, perf, mapper)
         for name in circuits or TABLE1_CIRCUITS
     ]
     return _run_suite(_table1_circuit, args, procs, obs_out)
@@ -227,6 +233,7 @@ def run_table2(
     perf: Optional[PerfOptions] = None,
     procs: Optional[int] = None,
     obs_out: Optional[List[ObsReport]] = None,
+    mapper: str = "tree",
 ) -> List[Table2Row]:
     """Regenerate Table 2 over the named circuits.
 
@@ -246,7 +253,7 @@ def run_table2(
     # path delay in the regime the paper's experiment probes.
     wire_model = WireCapModel(4.0e-4, 3.0e-4)
     args = [
-        (name, scale, library, options, verify, perf, wire_model)
+        (name, scale, library, options, verify, perf, wire_model, mapper)
         for name in circuits or TABLE2_CIRCUITS
     ]
     return _run_suite(_table2_circuit, args, procs, obs_out)

@@ -24,7 +24,7 @@ from repro.match.treematch import Match
 from repro.network.logic import TruthTable
 from repro.network.subject import SubjectGraph, SubjectNode
 
-__all__ = ["BooleanMatcher", "enumerate_cuts", "cut_function"]
+__all__ = ["BooleanMatcher", "enumerate_cuts", "cut_function", "cut_cone"]
 
 #: Cuts retained per node during enumeration (priority: fewer leaves).
 DEFAULT_CUTS_PER_NODE = 24
@@ -112,6 +112,19 @@ def _cone_nodes(
     if not visit(root):
         return None
     return order
+
+
+def cut_cone(
+    root: SubjectNode, leaves: FrozenSet[SubjectNode]
+) -> Optional[List[SubjectNode]]:
+    """Public alias of :func:`_cone_nodes` for the cut-covering backend.
+
+    The cut mapper (:mod:`repro.map.cuts`) needs the interior of a cut to
+    drive the hawk/dove lifecycle exactly as tree matches do; exposing
+    the traversal here keeps both matchers on one definition of a cut's
+    cone.
+    """
+    return _cone_nodes(root, leaves)
 
 
 def cut_function(

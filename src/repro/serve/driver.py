@@ -51,11 +51,17 @@ def run_table1_served(
     circuits: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     verify: Union[bool, str] = True,
+    mapper: str = "tree",
 ) -> List[Table1Row]:
-    """Table 1 rows with both flows served per circuit."""
+    """Table 1 rows with both flows served per circuit.
+
+    ``mapper`` selects the MIS column's covering backend; the Lily cell
+    is always tree-mapped (the serve layer rejects anything else).
+    """
     rows: List[Table1Row] = []
     for name in circuits or TABLE1_CIRCUITS:
-        mis = _cell(client, name, "mis", "area", scale, verify)
+        mis = _cell(client, name, "mis", "area", scale, verify,
+                    mapper=mapper)
         lily = _cell(client, name, "lily", "area", scale, verify)
         rows.append(Table1Row(
             name,
@@ -73,12 +79,14 @@ def run_table2_served(
     circuits: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     verify: Union[bool, str] = True,
+    mapper: str = "tree",
 ) -> List[Table2Row]:
     """Table 2 rows (1µ-scaled library + heavy wire model) served."""
     options = {"library": "big_1u", "wire_cap": list(TABLE2_WIRE_CAP)}
     rows: List[Table2Row] = []
     for name in circuits or TABLE2_CIRCUITS:
-        mis = _cell(client, name, "mis", "timing", scale, verify, **options)
+        mis = _cell(client, name, "mis", "timing", scale, verify,
+                    mapper=mapper, **options)
         lily = _cell(client, name, "lily", "timing", scale, verify, **options)
         rows.append(Table2Row(
             name,

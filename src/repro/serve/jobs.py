@@ -3,7 +3,8 @@
 A *job* names a netlist (either raw BLIF text or a suite circuit plus a
 size scale), one pipeline (``mis`` | ``lily``), one mode (``area`` |
 ``timing``) and the knobs that change the answer (library choice, wire
-model, verify level, Lily extensions).  Two jobs that would produce the
+model, verify level, Lily extensions, and the MIS pipeline's covering
+backend — ``mapper``).  Two jobs that would produce the
 same :class:`~repro.flow.pipeline.FlowResult` must map to the same
 :func:`job_key`, so the key hashes:
 
@@ -79,11 +80,24 @@ class JobSpec:
     verify: Union[bool, str] = False
     seed_backend_from_mapper: bool = False
     layout_driven: bool = False
+    #: Covering backend for the MIS pipeline (``tree``/``cuts``/``fusion``/
+    #: ``lut:K``); changes the answer, so it keys the cache.
+    mapper: str = "tree"
 
     def validate(self) -> None:
         """Raise :class:`JobError` on any inconsistency."""
+        from repro.map.cuts import MapperSpecError, parse_mapper_spec
+
         if self.flow not in FLOWS:
             raise JobError(f"unknown flow: {self.flow!r} (expected {FLOWS})")
+        try:
+            spec = parse_mapper_spec(self.mapper)
+        except MapperSpecError as exc:
+            raise JobError(str(exc))
+        if spec.kind != "tree" and self.flow != "mis":
+            raise JobError(
+                f"mapper {self.mapper!r} needs flow 'mis' (Lily's "
+                f"constructive placement is tree-based)")
         if self.mode not in MODES:
             raise JobError(f"unknown mode: {self.mode!r} (expected {MODES})")
         if (self.circuit is None) == (self.blif is None):
@@ -146,6 +160,7 @@ class JobSpec:
             "verify": self.verify,
             "seed_backend_from_mapper": self.seed_backend_from_mapper,
             "layout_driven": self.layout_driven,
+            "mapper": self.mapper,
         }
 
     def wire_model(self) -> Optional[WireCapModel]:
@@ -195,7 +210,8 @@ def run_flow(
     wire_model = spec.wire_model()
     if spec.flow == "mis":
         return mis_flow(net, library, mode=spec.mode, wire_model=wire_model,
-                        verify=spec.verify, perf=perf, matcher=matcher)
+                        verify=spec.verify, perf=perf, matcher=matcher,
+                        mapper=spec.mapper)
     return lily_flow(
         net, library, mode=spec.mode, wire_model=wire_model,
         verify=spec.verify, perf=perf,

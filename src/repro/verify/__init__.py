@@ -46,6 +46,7 @@ from repro.verify.faults import (
 )
 from repro.verify.invariants import (
     check_cone_partition,
+    check_cut_cover,
     check_lifecycle,
     check_mapped,
     check_network,
@@ -72,6 +73,7 @@ __all__ = [
     "copy_artifacts",
     "inject_fault",
     "check_cone_partition",
+    "check_cut_cover",
     "check_lifecycle",
     "check_mapped",
     "check_network",

@@ -34,6 +34,7 @@ from repro.timing.sta import TimingReport
 from repro.verify.equiv import EquivBudget, check_equivalence
 from repro.verify.invariants import (
     check_cone_partition,
+    check_cut_cover,
     check_incremental_sta,
     check_lifecycle,
     check_mapped,
@@ -72,6 +73,9 @@ class FlowArtifacts:
     placement: Optional[DetailedPlacement] = None
     timing: Optional[TimingReport] = None
     wire_model: Optional[WireCapModel] = None
+    #: Cut-cover records (``repro.map.cuts``); audited per match when the
+    #: mapping came from the cut backend.
+    cut_cover: Optional[Sequence] = None
 
     @staticmethod
     def from_flow(net, map_result, backend=None,
@@ -85,6 +89,7 @@ class FlowArtifacts:
             placement=backend.routed.placement if backend else None,
             timing=backend.timing if backend else None,
             wire_model=wire_model,
+            cut_cover=getattr(map_result, "cut_cover", None),
         )
 
 
@@ -126,6 +131,8 @@ def audit(artifacts: FlowArtifacts, level: str = "fast") -> VerifyReport:
             report.extend(check_mapped(a.mapped))
         if a.lifecycle is not None and a.subject is not None:
             report.extend(check_lifecycle(a.lifecycle, a.subject))
+        if a.cut_cover and a.subject is not None and a.mapped is not None:
+            report.extend(check_cut_cover(a.subject, a.mapped, a.cut_cover))
         if a.placement is not None and a.mapped is not None:
             report.extend(check_placement(a.mapped, a.placement))
         if a.timing is not None and a.mapped is not None:

@@ -45,6 +45,7 @@ __all__ = [
     "check_subject",
     "check_mapped",
     "check_cone_partition",
+    "check_cut_cover",
     "check_lifecycle",
     "check_placement",
     "check_timing",
@@ -287,6 +288,80 @@ def check_cone_partition(
     if uncovered:
         problems.append(f"{len(uncovered)} live gates in no cone")
     return [_result("invariant.cones.partition", target, problems, t0)]
+
+
+# -- cut cover ---------------------------------------------------------------
+
+
+def check_cut_cover(subject: SubjectGraph, mapped: MappedNetwork,
+                    cover: Sequence) -> List[CheckResult]:
+    """Audit a cut mapper's committed cover records.
+
+    Every :class:`~repro.map.cuts.CutCoverRecord` must name an existing
+    instance of the recorded cell, and the cell — wired through the
+    record's pin assignment and negations — must realise *exactly* the
+    cut function, which is re-derived here from the subject graph.  This
+    proves the NPN match table and the commit wiring agree cone by cone,
+    independently of the end-to-end equivalence checks.
+    """
+    from repro.match.boolmatch import cut_function
+
+    target = subject.name
+    t0 = time.perf_counter()
+    problems: List[str] = []
+    nodes = {n.uid: n for n in subject.nodes}
+    for record in cover:
+        if record.instance not in mapped:
+            problems.append(
+                f"cut record names missing instance {record.instance}")
+            continue
+        instance = mapped[record.instance]
+        if instance.cell is None or instance.cell.name != record.cell:
+            problems.append(
+                f"cut record {record.instance}: expected cell "
+                f"{record.cell}, instance carries "
+                f"{instance.cell.name if instance.cell else None}")
+            continue
+        root = nodes.get(record.root)
+        leaves = [nodes.get(uid) for uid in record.leaves]
+        if root is None or any(leaf is None for leaf in leaves):
+            problems.append(
+                f"cut record {record.instance}: unknown subject uids")
+            continue
+        n = instance.cell.num_inputs
+        if (len(leaves) != n or len(record.leaf_of_pin) != n
+                or len(record.pin_negated) != n):
+            problems.append(
+                f"cut record {record.instance}: binding width mismatch "
+                f"({len(leaves)} leaves for {n}-input {record.cell})")
+            continue
+        tt = cut_function(root, leaves)
+        if tt is None:
+            problems.append(
+                f"cut record {record.instance}: leaves are not a cut "
+                f"of {root.name}")
+            continue
+        cell_bits = instance.cell.truth_table.bits
+        bits = 0
+        for m in range(1 << n):
+            pins = 0
+            for pin in range(n):
+                value = (m >> record.leaf_of_pin[pin]) & 1
+                if record.pin_negated[pin]:
+                    value ^= 1
+                if value:
+                    pins |= 1 << pin
+            value = (cell_bits >> pins) & 1
+            if record.output_negated:
+                value ^= 1
+            if value:
+                bits |= 1 << m
+        if bits != tt.bits:
+            problems.append(
+                f"cut record {record.instance}: bound {record.cell} "
+                f"realises {bits:#x}, cut function of {root.name} "
+                f"is {tt.bits:#x}")
+    return [_result("invariant.map.cut_cover", target, problems, t0)]
 
 
 # -- lifecycle ---------------------------------------------------------------

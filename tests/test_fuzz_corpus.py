@@ -1,11 +1,13 @@
 """Every malformed file in ``tests/fuzz_corpus`` dies with context.
 
 The corpus holds hand-written broken BLIF and genlib inputs (truncated
-continuations, duplicate drivers, bad PIN arity, cycles, ...).  The
-contract under test: the parsers raise their *contextual* error types —
-message prefixed ``filename:line:`` wherever a line is known, with the
-bare pieces on ``.reason`` / ``.filename`` / ``.line`` — and never leak
-a bare ``KeyError`` / ``IndexError`` / ``ValueError`` from the guts.
+continuations, duplicate drivers, bad PIN arity, cycles, ...) plus a
+table of malformed ``--mapper`` specifications.  The contract under
+test: the parsers raise their *contextual* error types — message
+prefixed ``filename:line:`` wherever a line is known, with the bare
+pieces on ``.reason`` / ``.filename`` / ``.line`` (mapper specs pin the
+whole message instead) — and never leak a bare ``KeyError`` /
+``IndexError`` / ``ValueError`` from the guts.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import os
 import pytest
 
 from repro.library.genlib import GenlibError, parse_genlib
+from repro.map.cuts import CutError, MapperSpecError, parse_mapper_spec
 from repro.network.blif import BlifError, parse_blif_file
 
 pytestmark = pytest.mark.fuzz
@@ -26,10 +29,27 @@ GENLIB_FILES = sorted(
     f for f in os.listdir(CORPUS_DIR) if f.endswith(".genlib"))
 
 
+def _mapper_spec_cases():
+    """(spec, pinned message) rows from ``mapper_specs.txt``."""
+    cases = []
+    with open(os.path.join(CORPUS_DIR, "mapper_specs.txt")) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            spec, message = line.split("\t", 1)
+            cases.append((spec, message))
+    return cases
+
+
+MAPPER_SPEC_CASES = _mapper_spec_cases()
+
+
 def test_corpus_is_populated():
     """Guard: a renamed/empty corpus directory must fail, not skip."""
     assert len(BLIF_FILES) >= 10
     assert len(GENLIB_FILES) >= 5
+    assert len(MAPPER_SPEC_CASES) >= 10
 
 
 def _assert_contextual(exc, path):
@@ -62,3 +82,37 @@ def test_malformed_genlib_raises_contextual_error(name):
     with pytest.raises(GenlibError) as info:
         parse_genlib(text, filename=path)
     _assert_contextual(info.value, path)
+
+
+@pytest.mark.parametrize("spec, message", MAPPER_SPEC_CASES,
+                         ids=[s for s, _ in MAPPER_SPEC_CASES])
+def test_malformed_mapper_spec_raises_pinned_message(spec, message):
+    """Every corpus spec dies with its exact documented message."""
+    with pytest.raises(MapperSpecError) as info:
+        parse_mapper_spec(spec)
+    assert str(info.value) == message
+
+
+def test_cyclic_cut_enumeration_regression():
+    """Regression: a cyclic subject graph must die with a contextual
+    :class:`CutError` naming both nodes of the broken edge — never loop
+    and never produce a partial cut table."""
+    from repro.map.cuts import enumerate_priority_cuts
+    from repro.network.subject import SubjectGraph
+
+    g = SubjectGraph("cyclic_regression")
+    a = g.add_primary_input("a")
+    b = g.add_primary_input("b")
+    first = g.nand(a, b)
+    second = g.nand(first, a)
+    g.add_primary_output("o", second)
+    # Corrupt the DAG the way no builder API allows: close a cycle.
+    first.fanins[1] = second
+    second.fanouts.append(first)
+    with pytest.raises(CutError) as info:
+        enumerate_priority_cuts(g, 4)
+    message = str(info.value)
+    assert message.startswith("cyclic subject graph: "), message
+    assert "consumes gate" in message
+    assert "before it was enumerated" in message
+    assert first.name in message and second.name in message
